@@ -1,0 +1,259 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation section, plus the ablation studies called out in
+// DESIGN.md. Each benchmark regenerates its experiment and reports the
+// experiment's headline number as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Analytic experiments run in
+// milliseconds; trained-model experiments (Table I/II, Figs. 4/9/10 and
+// the noise study) train the scaled benchmarks inside the first iteration.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// discard renders a result to devnull so rendering code is exercised too.
+func discard(r interface{ Render(io.Writer) }) { r.Render(io.Discard) }
+
+func BenchmarkFig1_DeviceCharacteristic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1DeviceCharacteristic()
+		discard(r)
+		b.ReportMetric(r.Points[len(r.Points)-1].DisplacementNM, "maxΔDW_nm")
+	}
+}
+
+func BenchmarkFig4_SpikingActivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4SpikingActivity(10)
+		discard(r)
+		b.ReportMetric(r.Activity[0], "layer1_rate")
+	}
+}
+
+func BenchmarkFig9_QuantizationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9QuantizationSweep()
+		discard(r)
+		// Headline: accuracy at the chip's 16-level operating point.
+		for _, p := range r.Points {
+			if p.Levels == 16 {
+				b.ReportMetric(p.Accuracy, "acc@16lv")
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkFig10_Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10Correlation(6)
+		discard(r)
+		b.ReportMetric(r.CorrLongT[len(r.CorrLongT)-1], "deep_corr")
+	}
+}
+
+func BenchmarkTableI_Conversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableIConversion(15)
+		discard(r)
+		var minGap float64 = 1
+		for _, row := range r.Rows {
+			if gap := row.ANNAccuracy - row.SNNAccuracy; gap < minGap {
+				minGap = gap
+			}
+		}
+		b.ReportMetric(minGap, "min_acc_gap")
+	}
+}
+
+func BenchmarkTableII_Hybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableIIHybrid(15)
+		discard(r)
+		b.ReportMetric(float64(len(r.Rows)), "rows")
+	}
+}
+
+func BenchmarkTableIII_Components(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableIIIComponents()
+		discard(r)
+		b.ReportMetric(r.Spec.ChipPowerW(), "chip_W")
+	}
+}
+
+func BenchmarkFig12_ISAACLayerwise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12ISAACLayerwise()
+		discard(r)
+		b.ReportMetric(r.Series[0].Mean, "alexnet_ratio")
+		b.ReportMetric(r.Series[1].Mean, "mobilenet_ratio")
+	}
+}
+
+func BenchmarkFig13a_ISAACAverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13aISAACAverage()
+		discard(r)
+		sum := 0.0
+		for _, row := range r.Rows {
+			sum += row.Ratio
+		}
+		b.ReportMetric(sum/float64(len(r.Rows)), "mean_ratio")
+	}
+}
+
+func BenchmarkFig13b_INXSLayerwise(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13bINXSLayerwise()
+		discard(r)
+		b.ReportMetric(r.Mean, "inxs_ratio")
+	}
+}
+
+func BenchmarkFig14_PeakPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14PeakPower()
+		discard(r)
+		max := 0.0
+		for _, s := range r.Series {
+			if s.Max > max {
+				max = s.Max
+			}
+		}
+		b.ReportMetric(max, "max_peak_ratio")
+	}
+}
+
+func BenchmarkFig15_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig15ComponentBreakdownVGG()
+		discard(r)
+		b.ReportMetric(r.TotalSNN.SRAM+r.TotalSNN.EDRAM, "snn_mem_share")
+	}
+}
+
+func BenchmarkFig16_BreakdownAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig16ComponentBreakdownAll()
+		discard(r)
+		b.ReportMetric(float64(len(r.SNN)+len(r.ANN)), "rows")
+	}
+}
+
+func BenchmarkFig17_HybridStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig17HybridStudy()
+		discard(r)
+		// Headline: VGG SNN/ANN energy ratio.
+		for _, s := range r.Series {
+			if s.Model == "vgg13-cifar10" {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(1/last.EnergyVsSNN, "vgg_snn_over_ann_energy")
+			}
+		}
+	}
+}
+
+func BenchmarkNoise_Resilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NoiseResilience(15, 2)
+		discard(r)
+		b.ReportMetric(r.CleanANN-r.NoisyANN, "ann_acc_drop")
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+func BenchmarkAblation_NUHierarchyVsADC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationNUHierarchy()
+		discard(r)
+		b.ReportMetric(r.Rows[2].Value, "energy_ratio")
+	}
+}
+
+func BenchmarkAblation_MorphableTiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationMorphableTiles()
+		discard(r)
+		b.ReportMetric(r.Rows[0].Value, "morphable_util")
+	}
+}
+
+func BenchmarkAblation_MembraneStorage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationMembraneStorage()
+		discard(r)
+		b.ReportMetric(r.Rows[2].Value, "energy_ratio")
+	}
+}
+
+func BenchmarkAblation_BitSerialInput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationBitSerialInput()
+		discard(r)
+		b.ReportMetric(r.Rows[2].Value, "energy_ratio")
+	}
+}
+
+func BenchmarkAblation_HybridSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationHybridSplit()
+		discard(r)
+		b.ReportMetric(r.Rows[0].Value/r.Rows[len(r.Rows)-1].Value, "shallow_over_deep")
+	}
+}
+
+func BenchmarkAblation_ISAACADCScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationISAACADCScaling()
+		discard(r)
+		b.ReportMetric(r.Rows[len(r.Rows)-1].Value/r.Rows[0].Value, "sensitivity_span")
+	}
+}
+
+func BenchmarkSensitivity_SNNvsANN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SensitivitySNNvsANN()
+		discard(r)
+		max := 0.0
+		for _, row := range r.Rows {
+			if row.Span > max {
+				max = row.Span
+			}
+		}
+		b.ReportMetric(max, "max_knob_span")
+	}
+}
+
+func BenchmarkSensitivity_Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.SensitivityBaselines()
+		discard(r)
+		b.ReportMetric(r.Rows[0].Span, "isaac_adc_span")
+	}
+}
+
+func BenchmarkPowerProfile_TraceReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PowerProfile(60)
+		discard(r)
+		b.ReportMetric(r.PeakStepPowerW/r.MeanPowerW, "peak_over_mean")
+	}
+}
+
+func BenchmarkFaultResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.FaultResilience(10, 50)
+		discard(r)
+		b.ReportMetric(r.Points[0].Accuracy-r.Points[len(r.Points)-1].Accuracy, "acc_drop_at_20pct")
+	}
+}

@@ -1,0 +1,158 @@
+// Command nebula-bench regenerates the tables and figures of the NEBULA
+// paper's evaluation section and prints them as text.
+//
+// Usage:
+//
+//	nebula-bench -exp all            # everything (trains models; minutes)
+//	nebula-bench -exp fig13a         # one experiment
+//	nebula-bench -exp table1 -samples 40
+//	nebula-bench -exp fig12,fig13a -csv out/   # also write CSV data files
+//
+// Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
+// fig15, fig16, fig17, table1, table2, table3, noise, ablations,
+// sensitivity, profile, faults, all.
+// Analytic experiments (fig1, fig12-17, table3, ablations, sensitivity)
+// run in milliseconds; trained-model experiments (fig4, fig9, fig10,
+// table1, table2, noise, profile, faults) train the scaled benchmarks
+// first.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/figio"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
+	samples := flag.Int("samples", 30, "test images per accuracy measurement")
+	trials := flag.Int("trials", 3, "Monte-Carlo trials for the noise study")
+	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	flag.Parse()
+
+	// writeCSV stores an experiment's data file when -csv is set.
+	writeCSV := func(name string, emit func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := emit(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", path)
+	}
+
+	runners := map[string]func(){
+		"fig1": func() {
+			r := experiments.Fig1DeviceCharacteristic()
+			r.Render(os.Stdout)
+			writeCSV("fig1", func(f *os.File) error { return figio.Fig1CSV(f, r) })
+		},
+		"fig4":  func() { experiments.Fig4SpikingActivity(*samples).Render(os.Stdout) },
+		"fig9":  func() { experiments.Fig9QuantizationSweep().Render(os.Stdout) },
+		"fig10": func() { experiments.Fig10Correlation(*samples).Render(os.Stdout) },
+		"fig12": func() {
+			r := experiments.Fig12ISAACLayerwise()
+			r.Render(os.Stdout)
+			writeCSV("fig12", func(f *os.File) error { return figio.Fig12CSV(f, r) })
+		},
+		"fig13a": func() {
+			r := experiments.Fig13aISAACAverage()
+			r.Render(os.Stdout)
+			writeCSV("fig13a", func(f *os.File) error { return figio.Fig13aCSV(f, r) })
+		},
+		"fig13b": func() {
+			r := experiments.Fig13bINXSLayerwise()
+			r.Render(os.Stdout)
+			writeCSV("fig13b", func(f *os.File) error { return figio.Fig13bCSV(f, r) })
+		},
+		"fig14": func() {
+			r := experiments.Fig14PeakPower()
+			r.Render(os.Stdout)
+			writeCSV("fig14", func(f *os.File) error { return figio.Fig14CSV(f, r) })
+		},
+		"fig15": func() { experiments.Fig15ComponentBreakdownVGG().Render(os.Stdout) },
+		"fig16": func() { experiments.Fig16ComponentBreakdownAll().Render(os.Stdout) },
+		"fig17": func() {
+			r := experiments.Fig17HybridStudy()
+			r.Render(os.Stdout)
+			writeCSV("fig17", func(f *os.File) error { return figio.Fig17CSV(f, r) })
+		},
+		"table1": func() {
+			r := experiments.TableIConversion(*samples)
+			r.Render(os.Stdout)
+			writeCSV("table1", func(f *os.File) error { return figio.TableICSV(f, r) })
+		},
+		"table2": func() {
+			r := experiments.TableIIHybrid(*samples)
+			r.Render(os.Stdout)
+			writeCSV("table2", func(f *os.File) error { return figio.TableIICSV(f, r) })
+		},
+		"table3": func() { experiments.TableIIIComponents().Render(os.Stdout) },
+		"noise":  func() { experiments.NoiseResilience(*samples, *trials).Render(os.Stdout) },
+		"profile": func() {
+			r := experiments.PowerProfile(80)
+			r.Render(os.Stdout)
+			writeCSV("profile", func(f *os.File) error { return figio.ProfileCSV(f, r) })
+		},
+		"faults": func() {
+			r := experiments.FaultResilience(*samples/2+1, 60)
+			r.Render(os.Stdout)
+			writeCSV("faults", func(f *os.File) error { return figio.FaultCSV(f, r) })
+		},
+		"sensitivity": func() {
+			a := experiments.SensitivitySNNvsANN()
+			a.Render(os.Stdout)
+			writeCSV("sensitivity_snn_vs_ann", func(f *os.File) error { return figio.SensitivityCSV(f, a) })
+			b := experiments.SensitivityBaselines()
+			b.Render(os.Stdout)
+			writeCSV("sensitivity_baselines", func(f *os.File) error { return figio.SensitivityCSV(f, b) })
+		},
+		"ablations": func() {
+			experiments.AblationNUHierarchy().Render(os.Stdout)
+			experiments.AblationMorphableTiles().Render(os.Stdout)
+			experiments.AblationMembraneStorage().Render(os.Stdout)
+			experiments.AblationBitSerialInput().Render(os.Stdout)
+			experiments.AblationHybridSplit().Render(os.Stdout)
+			experiments.AblationISAACADCScaling().Render(os.Stdout)
+		},
+	}
+	order := []string{
+		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
+		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
+		"fig4", "fig9", "fig10", "noise", "profile", "faults",
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "nebula-bench: unknown experiment %q\navailable: %s\n",
+				name, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		run()
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,104 @@
+// Command nebula-sim maps a full-size paper workload onto the NEBULA chip
+// and prints the placement, energy and power reports in all three
+// operating modes.
+//
+// Usage:
+//
+//	nebula-sim -workload vgg13-cifar10
+//	nebula-sim -workload alexnet -timesteps 500 -hybrid 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/placement"
+)
+
+func workloads() map[string]models.Workload {
+	out := map[string]models.Workload{}
+	for _, w := range models.PaperWorkloads() {
+		out[w.Name] = w
+	}
+	return out
+}
+
+func main() {
+	name := flag.String("workload", "vgg13-cifar10", "workload name (see -list)")
+	list := flag.Bool("list", false, "list available workloads")
+	timesteps := flag.Int("timesteps", 0, "SNN window (0 = the workload's Table I value)")
+	hybridK := flag.Int("hybrid", 3, "non-spiking layers in the hybrid report")
+	schedule := flag.Bool("schedule", false, "print the compiled per-core configuration")
+	traffic := flag.Bool("traffic", false, "simulate routed NoC traffic for one inference")
+	meshSize := flag.Int("mesh", 14, "mesh dimension for placement (default 14×14)")
+	flag.Parse()
+
+	ws := workloads()
+	if *list {
+		for _, w := range models.PaperWorkloads() {
+			fmt.Printf("  %-22s %-10s %2d weighted layers, T=%d\n",
+				w.Name, w.Dataset, len(w.WeightedLayers()), w.Timesteps)
+		}
+		return
+	}
+	w, ok := ws[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nebula-sim: unknown workload %q (use -list)\n", *name)
+		os.Exit(2)
+	}
+	T := *timesteps
+	if T == 0 {
+		T = w.Timesteps
+	}
+
+	sim := core.New()
+	sim.DescribeMapping(w, os.Stdout)
+
+	ann := sim.EstimateANN(w)
+	snn := sim.EstimateSNN(w, T)
+	hyb := sim.EstimateHybrid(w, T/2, *hybridK)
+
+	fmt.Printf("\nenergy & power (T=%d, hybrid: %d ANN layers @ T=%d)\n", T, *hybridK, T/2)
+	fmt.Printf("  mode    energy (µJ)   time (µs)   avg power (mW)   peak power (mW)\n")
+	fmt.Printf("  ANN     %10.3f   %9.2f   %13.3f   %14.3f\n",
+		ann.EnergyJ*1e6, ann.TimeS*1e6, ann.AvgPowerW*1e3, ann.PeakPowerW*1e3)
+	fmt.Printf("  SNN     %10.3f   %9.2f   %13.3f   %14.3f\n",
+		snn.EnergyJ*1e6, snn.TimeS*1e6, snn.AvgPowerW*1e3, snn.PeakPowerW*1e3)
+	fmt.Printf("  hybrid  %10.3f   %9.2f   %13.3f   %14.3f\n",
+		hyb.EnergyJ*1e6, hyb.TimeS*1e6, hyb.AvgPowerW*1e3, hyb.PeakPowerW*1e3)
+	fmt.Printf("\nheadline ratios: E_SNN/E_ANN = %.2f   P_ANN/P_SNN = %.2f\n",
+		snn.EnergyJ/ann.EnergyJ, ann.AvgPowerW/snn.AvgPowerW)
+
+	if *schedule || *traffic {
+		np := mapping.MapWorkload(w)
+		a, err := placement.Place(np, *meshSize, *meshSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if *schedule {
+			fmt.Println()
+			sched, err := compiler.Compile(a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nebula-sim: %v\n", err)
+				os.Exit(1)
+			}
+			sched.Render(os.Stdout)
+			cost := sched.ProgrammingCost(sim.Device)
+			fmt.Printf("  weight loading: %d writes, %.1f nJ, %.2f ms serial\n",
+				cost.Writes, cost.EnergyJ*1e9, cost.TimeS*1e3)
+		}
+		if *traffic {
+			fmt.Println()
+			annT := a.SimulateTraffic(placement.ANNTraffic())
+			fmt.Printf("routed NoC traffic (ANN pass): %d packets, %.2f nJ, makespan %.2f µs, %.2f mean hops (analytic assumption %.2f)\n",
+				annT.Stats.Packets, annT.EnergyJ()*1e9, annT.MakespanNS/1e3,
+				annT.MeanHopsObserved, float64(*meshSize)*2/3)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "NEBULA: A
+// Neuromorphic Spin-Based Ultra-Low Power Architecture for SNNs and ANNs"
+// (Singh et al., ISCA 2020).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The public entry point is
+// repro/internal/core; bench_test.go regenerates every table and figure.
+package repro

@@ -1,0 +1,87 @@
+// chipreport: the deployment view — map a trained model onto the chip,
+// compile its per-core configuration, simulate routed NoC traffic, and
+// replay a recorded spike trace through the energy model for an
+// instantaneous power profile.
+//
+//	go run ./examples/chipreport
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/compiler"
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/placement"
+	"repro/internal/replay"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/train"
+)
+
+func main() {
+	// Train a small LeNet and derive its hardware view.
+	trainDS, testDS := dataset.TrainTest(dataset.MNISTLike, 300, 80, 17)
+	net := models.NewLeNet5(1, 16, 10, rng.New(5))
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 5
+	train.Run(net, trainDS, testDS, cfg)
+
+	w, err := models.FromNetwork("lenet5-scaled", net, 1, 16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Map, place and compile.
+	np := mapping.MapWorkload(w)
+	a, err := placement.Place(np, 14, 14)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := compiler.Compile(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched.Render(os.Stdout)
+	cost := sched.ProgrammingCost(device.DefaultParams())
+	fmt.Printf("  weight loading: %d writes, %.1f nJ\n\n", cost.Writes, cost.EnergyJ*1e9)
+
+	// Routed NoC traffic vs the analytic mean-hop assumption.
+	tr := a.SimulateTraffic(placement.ANNTraffic())
+	fmt.Printf("NoC (ANN pass): %d packets, %.3f nJ, %.2f observed mean hops\n\n",
+		tr.Stats.Packets, tr.EnergyJ()*1e9, tr.MeanHopsObserved)
+
+	// Trace-driven power profile of one spiking inference.
+	conv, err := convert.Convert(net, trainDS, convert.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, label := testDS.Sample(0)
+	const T = 60
+	res, trace := conv.SNN.RunTraced(img, T, snn.NewPoissonEncoder(1.0, rng.New(9)))
+	fmt.Printf("traced inference: predicted %d (true %d)\n", res.Predict(), label)
+
+	m := energy.NewModel()
+	m.SNNParallelism = 1
+	rep, err := replay.Replay(m, w, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace replay: %.3f µJ total, mean %.3f mW, peak step %.3f mW\n",
+		rep.EnergyJ*1e6, rep.MeanPowerW*1e3, rep.PeakStepPowerW*1e3)
+	fmt.Println("instantaneous power (one row per 4 timesteps):")
+	for t := 0; t < T; t += 4 {
+		bars := int(rep.StepPowerW[t] / rep.PeakStepPowerW * 40)
+		if bars > 40 {
+			bars = 40
+		}
+		fmt.Printf("  t=%3d %7.3f mW %s\n", t, rep.StepPowerW[t]*1e3, strings.Repeat("#", bars))
+	}
+}

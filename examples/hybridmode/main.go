@@ -1,0 +1,69 @@
+// hybridmode: the SNN-ANN hybrid study of §V-B and Fig. 17.
+//
+// Trains the scaled VGG-13, converts it, then sweeps hybrid split points
+// and integration windows — showing how a few non-spiking layers recover
+// accuracy at short windows while energy stays below the pure SNN and
+// power below the pure ANN.
+//
+//	go run ./examples/hybridmode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/hybrid"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func main() {
+	// Accuracy study on the scaled model.
+	trainDS, testDS := dataset.TrainTest(dataset.CIFAR10Like, 400, 150, 21)
+	net := models.NewVGG13(3, 16, 10, rng.New(9))
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 6
+	cfg.LR = 0.03
+	res := train.Run(net, trainDS, testDS, cfg)
+	fmt.Printf("ANN accuracy: %.4f\n", res.TestAccuracy)
+
+	conv, err := convert.Convert(net, trainDS, convert.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const fullT = 120
+	snnAcc := conv.Evaluate(testDS, fullT, 50, 3).Accuracy
+	fmt.Printf("pure SNN accuracy at T=%d: %.4f\n\n", fullT, snnAcc)
+
+	fmt.Println("hybrid sweep (accuracy at shrinking windows):")
+	fmt.Println("  mode    t-steps  accuracy")
+	type pt struct{ k, T int }
+	for _, p := range []pt{{1, 100}, {2, 80}, {3, 60}, {4, 40}, {5, 30}} {
+		m, err := hybrid.Split(conv, p.k)
+		if err != nil {
+			continue
+		}
+		acc := m.Evaluate(testDS, p.T, 50, 3)
+		fmt.Printf("  Hyb-%d   %5d    %.4f\n", p.k, p.T, acc)
+	}
+
+	// Energy/power study on the full-size workload (Fig. 17).
+	fmt.Println("\nfull-size VGG-13 energy/power (analytic model):")
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	snn := em.SNNNetwork(np, w.Timesteps, act)
+	ann := em.ANNNetwork(np)
+	fmt.Printf("  SNN  (T=%d): E=%.1f µJ  P=%.2f mW\n", w.Timesteps, snn.EnergyJ*1e6, snn.AvgPowerW*1e3)
+	for _, p := range []pt{{1, 250}, {2, 200}, {3, 150}, {4, 100}} {
+		h := em.HybridNetwork(np, p.T, p.k, act)
+		fmt.Printf("  Hyb-%d (T=%d): E=%.1f µJ  P=%.2f mW\n", p.k, p.T, h.EnergyJ*1e6, h.AvgPowerW*1e3)
+	}
+	fmt.Printf("  ANN        : E=%.1f µJ  P=%.2f mW\n", ann.EnergyJ*1e6, ann.AvgPowerW*1e3)
+}

@@ -1,0 +1,326 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/convert"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/noc"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Chip executes converted networks on simulated NEBULA hardware: one
+// neural core per weighted stage (dedicated SNN or ANN cores, Fig. 6(b)),
+// pooling in the NU datapath, digital accumulation at the routing units
+// for the read-out, and a mesh NoC carrying inter-stage spikes.
+//
+// The chip consumes the output of convert.Convert, whose weights are
+// normalized so that every IF threshold is 1 and activations live in
+// [0, 1] — exactly the operating range of the 4-bit drivers and the
+// saturating MTJ neurons.
+type Chip struct {
+	P    device.Params
+	Cfg  crossbar.Config
+	Mesh *noc.Mesh
+	// WMax is the crossbar weight range per synapse pair; normalized
+	// kernels are clipped to ±WMax at programming time.
+	WMax float64
+	// FaultRate injects stuck-at device faults into every programmed
+	// super-tile (requires a noise generator). FaultMode selects the
+	// stuck state.
+	FaultRate float64
+	FaultMode crossbar.FaultMode
+
+	noise *rng.Rand
+}
+
+// NewChip builds a chip with the given device and crossbar configuration.
+// A nil noise generator disables stochastic non-idealities.
+func NewChip(p device.Params, cfg crossbar.Config, noise *rng.Rand) *Chip {
+	return &Chip{P: p, Cfg: cfg, Mesh: noc.New(noc.DefaultConfig()), WMax: 1.0, noise: noise}
+}
+
+// stageHW is the hardware realization of one converted stage.
+type stageHW struct {
+	kind string
+	// snnCore / annCore hold the crossbars for weighted stages (only one
+	// is populated depending on the run mode).
+	snnCore *SNNCore
+	annCore *ANNCore
+	// conv geometry (kind == "conv")
+	kh, kw, stride, pad int
+	inC, outC, groups   int
+	// pool (kind == "pool")
+	pool *snn.AvgPoolIF
+	// output weights (kind == "output") — digitally accumulated at RUs.
+	outW, outB *tensor.Tensor
+	outAcc     *tensor.Tensor
+	// spill holds the multi-core ADC-path realization of a dense stage
+	// whose receptive field exceeds one super-tile (nil otherwise).
+	spill *RUSpillCore
+	// bias currents injected alongside the crossbar evaluation.
+	bias *tensor.Tensor
+	// kmProgram lazily programs the kernel matrix once the number of
+	// time-multiplexed positions is known (conv stages).
+	kmProgram func(positions int) error
+}
+
+// RunResult reports a chip-level inference.
+type RunResult struct {
+	Output     *tensor.Tensor
+	Prediction int
+	// Cycles is the total pipeline cycle count across cores.
+	Cycles int64
+	// Spikes is the total hardware spike count (SNN mode).
+	Spikes int64
+	// NoCPackets counts inter-stage transfers.
+	NoCPackets int64
+	// ADCConversions counts spill-path partial-sum digitizations.
+	ADCConversions int64
+}
+
+// buildSNN lowers a converted network onto hardware SNN cores.
+func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
+	var stages []*stageHW
+	for _, st := range c.Stages {
+		layer := c.SNN.Layers[st.SNNLayer]
+		switch v := layer.(type) {
+		case *snn.Conv:
+			outC := v.W.Dim(0)
+			kh, kw := v.W.Dim(2), v.W.Dim(3)
+			gcIn := v.W.Dim(1)
+			inC := gcIn * v.Groups
+			rf := gcIn * kh * kw
+			if !FitsInCore(rf, outC) {
+				return nil, fmt.Errorf("arch: stage %s (Rf=%d, K=%d) does not fit one core; multi-core spill is modeled analytically in package energy", v.Name(), rf, outC)
+			}
+			// Kernel matrix: Rf×outC per Fig. 5. For grouped convolutions
+			// the matrix is block-diagonal over groups; the simulator
+			// keeps one matrix per group and routes each group's input
+			// window to its block (the morphable switches isolate the
+			// per-group column ranges).
+			km := v.W.Reshape(outC, rf).Transpose()
+			core := NewSNNCore(ch.P, ch.Cfg, 1.0, ch.split())
+			// Positions allocated lazily at run time (depends on input size).
+			s := &stageHW{kind: "conv", snnCore: core, kh: kh, kw: kw,
+				stride: v.Stride, pad: v.Pad, inC: inC, outC: outC, groups: v.Groups}
+			s.kmProgram = func(positions int) error { return core.Program(km, ch.WMax, positions) }
+			s.bias = v.B
+			stages = append(stages, s)
+		case *snn.Dense:
+			km := v.W.Transpose() // in×out
+			rf, outC := km.Dim(0), km.Dim(1)
+			if !FitsInCore(rf, outC) {
+				// Multi-core spill: digitized partial sums reduced at a
+				// routing unit (§IV-B3's Rf > 16M path).
+				sp := NewRUSpillCore(ch.P, ch.Cfg, 1.0, ch.split())
+				sp.ADCBits = 8
+				if err := sp.Program(km, ch.WMax, 1); err != nil {
+					return nil, err
+				}
+				for _, st := range sp.blocks {
+					ch.injectFaults(st)
+				}
+				s := &stageHW{kind: "dense", spill: sp, outC: outC}
+				s.bias = v.B
+				stages = append(stages, s)
+				continue
+			}
+			core := NewSNNCore(ch.P, ch.Cfg, 1.0, ch.split())
+			if err := core.Program(km, ch.WMax, 1); err != nil {
+				return nil, err
+			}
+			ch.injectFaults(core.ST)
+			s := &stageHW{kind: "dense", snnCore: core, outC: outC}
+			s.bias = v.B
+			stages = append(stages, s)
+		case *snn.AvgPoolIF:
+			stages = append(stages, &stageHW{kind: "pool",
+				pool: snn.NewAvgPoolIF(v.Name(), v.K, v.Stride, 1.0, snn.ResetToZero)})
+		case *snn.Flatten:
+			stages = append(stages, &stageHW{kind: "flatten"})
+		case *snn.Output:
+			stages = append(stages, &stageHW{kind: "output", outW: v.W, outB: v.B})
+		default:
+			return nil, fmt.Errorf("arch: unsupported stage type %T", layer)
+		}
+	}
+	return stages, nil
+}
+
+func (ch *Chip) split() *rng.Rand {
+	if ch.noise == nil {
+		return nil
+	}
+	return ch.noise.Split()
+}
+
+// injectFaults applies the chip's configured stuck-at fault rate to a
+// freshly programmed super-tile.
+func (ch *Chip) injectFaults(st *SuperTile) {
+	if ch.FaultRate > 0 && ch.noise != nil {
+		st.InjectStuckFaults(ch.noise.Split(), ch.FaultRate, ch.FaultMode)
+	}
+}
+
+// RunSNN executes T Poisson-encoded timesteps of one image through the
+// hardware. Conv stages time-multiplex output positions over their core
+// with per-position replica neurons; the membrane of every neuron lives
+// in its device between timesteps.
+func (ch *Chip) RunSNN(c *convert.Converted, img *tensor.Tensor, T int, enc *snn.PoissonEncoder) (*RunResult, error) {
+	stages, err := ch.buildSNN(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{}
+	for t := 0; t < T; t++ {
+		x := enc.Encode(img)
+		for _, s := range stages {
+			x, err = ch.stepStage(s, x, res)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The read-out stage integrates increments across timesteps; its
+	// accumulator holds the final class potentials.
+	out := stagesOutput(stages)
+	res.Output = out
+	res.Prediction = out.ArgMax()
+	for _, s := range stages {
+		if s.snnCore != nil {
+			res.Cycles += s.snnCore.Stats.Cycles
+			res.Spikes += s.snnCore.Stats.Spikes
+		}
+		if s.spill != nil {
+			res.Cycles += s.spill.Stats.Cycles
+			res.Spikes += s.spill.Stats.Spikes
+			res.ADCConversions += s.spill.ADCConversions
+		}
+	}
+	return res, nil
+}
+
+// stepStage advances one stage by one timestep.
+func (ch *Chip) stepStage(s *stageHW, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+	switch s.kind {
+	case "conv":
+		h, w := x.Dim(1), x.Dim(2)
+		oh := tensor.ConvOutSize(h, s.kh, s.stride, s.pad)
+		ow := tensor.ConvOutSize(w, s.kw, s.stride, s.pad)
+		if s.snnCore.neurons == nil {
+			// One replica bank per (position, group) pair.
+			if err := s.kmProgram(oh * ow * s.groups); err != nil {
+				return nil, err
+			}
+			ch.injectFaults(s.snnCore.ST)
+		}
+		out := tensor.New(s.outC, oh, ow)
+		gcIn := s.inC / s.groups
+		gcOut := s.outC / s.groups
+		rfg := gcIn * s.kh * s.kw
+		colBuf := make([]float64, rfg)
+		hw := x.Dim(1) * x.Dim(2)
+		for g := 0; g < s.groups; g++ {
+			sub := tensor.FromSlice(x.Data()[g*gcIn*hw:(g+1)*gcIn*hw], gcIn, h, w)
+			cols := tensor.Im2Col(sub, s.kh, s.kw, s.stride, s.pad)
+			for pos := 0; pos < oh*ow; pos++ {
+				for r := 0; r < rfg; r++ {
+					colBuf[r] = cols.At(r, pos)
+				}
+				spikes, err := ch.stepConvGroup(s, g, pos, colBuf)
+				if err != nil {
+					return nil, err
+				}
+				for k := 0; k < gcOut; k++ {
+					out.Set(spikes[g*gcOut+k], g*gcOut+k, pos/ow, pos%ow)
+				}
+			}
+		}
+		// Spikes travel to the consumer stage over the mesh.
+		res.NoCPackets++
+		ch.Mesh.Send(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}, maxInt(1, int(out.Sum())), 0)
+		return out, nil
+	case "dense":
+		flat := x.Reshape(x.Size())
+		var spikes []float64
+		var err error
+		if s.spill != nil {
+			var biasData []float64
+			if s.bias != nil {
+				biasData = s.bias.Data()
+			}
+			spikes, err = s.spill.StepAt(0, flat.Data(), biasData)
+		} else {
+			spikes, err = ch.stepWithBias(s, 0, flat.Data())
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.NoCPackets++
+		return tensor.FromSlice(spikes, len(spikes)), nil
+	case "pool":
+		return s.pool.Step(x), nil
+	case "flatten":
+		return x.Reshape(x.Size()), nil
+	case "output":
+		// Digital accumulation at the routing units.
+		flat := x.Reshape(1, -1)
+		inc := tensor.MatMulTransB(flat, s.outW)
+		if s.outB != nil {
+			inc.Row(0).AddInPlace(s.outB)
+		}
+		if s.outAcc == nil {
+			s.outAcc = tensor.New(s.outW.Dim(0))
+		}
+		s.outAcc.AddInPlace(inc.Reshape(s.outW.Dim(0)))
+		return s.outAcc.Clone(), nil
+	}
+	return nil, fmt.Errorf("arch: unknown stage kind %q", s.kind)
+}
+
+// stepWithBias drives one position through a spiking core, adding the
+// stage bias current before integration by superposing it on the result.
+func (ch *Chip) stepWithBias(s *stageHW, pos int, spikes []float64) ([]float64, error) {
+	if s.bias == nil {
+		return s.snnCore.StepAt(pos, spikes)
+	}
+	// Bias rows: the crossbar reserves a constantly-driven row per the
+	// standard bias mapping; the simulator adds the bias current directly
+	// into the neuron integration by extending the evaluation result.
+	return s.snnCore.stepAtWithBias(pos, spikes, s.bias.Data())
+}
+
+// stepConvGroup drives one group's input window: the full-width spike
+// vector is zero outside the group's rows, so only the group's
+// block-diagonal columns receive current.
+func (ch *Chip) stepConvGroup(s *stageHW, g, pos int, groupSpikes []float64) ([]float64, error) {
+	if s.groups == 1 {
+		return ch.stepWithBias(s, pos, groupSpikes)
+	}
+	// Grouped case: the per-group kernel matrices share the crossbar's
+	// row space (each group's Rf_g rows drive only its gcOut columns, a
+	// block-diagonal layout). The simulator evaluates the shared rows
+	// with this group's window; columns of other groups see the same
+	// rows but their spikes are masked out by the caller.
+	out, err := ch.stepWithBias(s, pos*s.groups+g, groupSpikes)
+	return out, err
+}
+
+func stagesOutput(stages []*stageHW) *tensor.Tensor {
+	last := stages[len(stages)-1]
+	if last.outAcc != nil {
+		return last.outAcc.Clone()
+	}
+	return tensor.New(1)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

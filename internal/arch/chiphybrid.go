@@ -1,0 +1,134 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/convert"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// AccumulatorUnit is the digital spike-count accumulator of Fig. 6(c):
+// an adder and a register per neuron, integrating the boundary spike
+// train over the evidence window and scaling it back to activation units
+// for the ANN cores.
+type AccumulatorUnit struct {
+	// Lambda is the activation scale of the boundary stage.
+	Lambda float64
+	counts *tensor.Tensor
+	steps  int
+	// Adds counts adder operations (for energy cross-checks).
+	Adds int64
+}
+
+// NewAccumulatorUnit allocates an AU for the given boundary shape.
+func NewAccumulatorUnit(lambda float64) *AccumulatorUnit {
+	return &AccumulatorUnit{Lambda: lambda}
+}
+
+// Accumulate folds one timestep of boundary spikes into the registers.
+func (au *AccumulatorUnit) Accumulate(spikes *tensor.Tensor) {
+	if au.counts == nil {
+		au.counts = tensor.New(spikes.Shape()...)
+	}
+	cd, sd := au.counts.Data(), spikes.Data()
+	for i, v := range sd {
+		if v != 0 {
+			cd[i] += v
+			au.Adds++
+		}
+	}
+	au.steps++
+}
+
+// Read returns the recovered activation estimate: rate × λ.
+func (au *AccumulatorUnit) Read() *tensor.Tensor {
+	if au.counts == nil || au.steps == 0 {
+		return nil
+	}
+	out := au.counts.Clone()
+	out.ScaleInPlace(au.Lambda / float64(au.steps))
+	return out
+}
+
+// Reset clears the registers.
+func (au *AccumulatorUnit) Reset() {
+	au.counts = nil
+	au.steps = 0
+	au.Adds = 0
+}
+
+// RunHybrid executes a hybrid inference on simulated hardware: the first
+// stages run on SNN cores for T timesteps, an AccumulatorUnit integrates
+// the boundary spikes, and the remaining stages run once on ANN cores.
+// nonSpiking counts weighted layers (including the read-out) executed in
+// the ANN domain, mirroring hybrid.Split.
+func (ch *Chip) RunHybrid(c *convert.Converted, nonSpiking int, img *tensor.Tensor, T int, enc *snn.PoissonEncoder) (*RunResult, error) {
+	// Locate the split: index into c.Stages of the first ANN-domain
+	// weighted stage.
+	var weighted []int
+	for i, s := range c.Stages {
+		if s.Weighted {
+			weighted = append(weighted, i)
+		}
+	}
+	if nonSpiking < 1 || nonSpiking >= len(weighted) {
+		return nil, fmt.Errorf("arch: nonSpiking must be in [1, %d)", len(weighted))
+	}
+	splitStage := weighted[len(weighted)-nonSpiking]
+	// λ of the last IF stage before the cut.
+	lambda := 1.0
+	for _, s := range c.Stages[:splitStage] {
+		if s.Kind != "flatten" {
+			lambda = s.Lambda
+		}
+	}
+
+	// Hardware for the spiking front.
+	frontHW, err := ch.buildSNN(c)
+	if err != nil {
+		return nil, err
+	}
+	frontHW = frontHW[:c.Stages[splitStage].SNNLayer]
+
+	res := &RunResult{}
+	au := NewAccumulatorUnit(lambda)
+	for t := 0; t < T; t++ {
+		x := enc.Encode(img)
+		for _, s := range frontHW {
+			x, err = ch.stepStage(s, x, res)
+			if err != nil {
+				return nil, err
+			}
+		}
+		au.Accumulate(x)
+	}
+	for _, s := range frontHW {
+		if s.snnCore != nil {
+			res.Cycles += s.snnCore.Stats.Cycles
+			res.Spikes += s.snnCore.Stats.Spikes
+		}
+		if s.spill != nil {
+			res.Cycles += s.spill.Stats.Cycles
+			res.Spikes += s.spill.Stats.Spikes
+			res.ADCConversions += s.spill.ADCConversions
+		}
+	}
+
+	// ANN tail on the recovered activations, on ANN-core hardware. The
+	// recovered activations are in the source (unnormalized) scale of the
+	// boundary; renormalize to [0,1] with λ so the normalized weights of
+	// the remaining stages apply directly.
+	x := au.Read()
+	x.ScaleInPlace(1 / lambda)
+	for _, st := range c.Stages[splitStage:] {
+		layer := c.SNN.Layers[st.SNNLayer]
+		x, err = ch.annStage(layer, x, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Output = x.Clone()
+	res.Prediction = x.ArgMax()
+	return res, nil
+}

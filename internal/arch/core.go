@@ -1,0 +1,212 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// PipelineStats counts the Fig. 8 pipeline activity of one neural core.
+type PipelineStats struct {
+	// Cycles is the number of 110 ns pipeline cycles consumed.
+	Cycles int64
+	// EDRAMReads / EDRAMWrites count eDRAM transactions (stage 1 and 3).
+	EDRAMReads, EDRAMWrites int64
+	// Evaluations counts crossbar evaluations (stage 2).
+	Evaluations int64
+	// Spikes counts output spikes (SNN mode).
+	Spikes int64
+}
+
+// ANNCore is a neural core configured for ANN inference: multi-level
+// drivers, saturating-ReLU MTJ neurons, continuous outputs.
+type ANNCore struct {
+	ST *SuperTile
+	// Clip is the neuron saturation ceiling in activation units (the
+	// device's finite wall travel); outputs are max(0, min(Clip, x)).
+	Clip  float64
+	Stats PipelineStats
+}
+
+// NewANNCore builds an ANN core around a fresh super-tile.
+func NewANNCore(p device.Params, cfg crossbar.Config, clip float64, noise *rng.Rand) *ANNCore {
+	return &ANNCore{ST: NewSuperTile(p, cfg, noise), Clip: clip}
+}
+
+// Program loads the layer kernels (Rf×K) scaled to wmax.
+func (c *ANNCore) Program(w *tensor.Tensor, wmax float64) error {
+	return c.ST.Program(w, wmax)
+}
+
+// Execute runs a batch of input vectors (the im2col columns of one image)
+// through the core, applying the saturating rectification of the
+// non-spiking MTJ neuron (Fig. 2(b)). Inputs must be in [0, 1] activation
+// units. Pipeline accounting follows Fig. 8: fetch, evaluate, write back.
+func (c *ANNCore) Execute(inputs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		c.Stats.Cycles++ // cycle 1: eDRAM → IB
+		c.Stats.EDRAMReads++
+		sums, err := c.ST.Evaluate(in)
+		if err != nil {
+			return nil, err
+		}
+		c.Stats.Cycles++ // cycle 2: drive crossbars, threshold at NU
+		c.Stats.Evaluations++
+		row := make([]float64, len(sums))
+		for j, v := range sums {
+			if v < 0 {
+				v = 0
+			} else if v > c.Clip {
+				v = c.Clip
+			}
+			row[j] = v
+		}
+		out[i] = row
+		c.Stats.Cycles++ // cycle 3: OB → eDRAM
+		c.Stats.EDRAMWrites++
+	}
+	return out, nil
+}
+
+// SNNCore is a neural core configured for spiking inference: 1-bit spike
+// drivers and integrate-and-fire MTJ neurons whose domain-wall position
+// stores the membrane potential between timesteps (§IV-B4) — no SRAM
+// round-trips.
+type SNNCore struct {
+	ST *SuperTile
+	// VTh is the firing threshold in activation units (1 after weight
+	// normalization).
+	VTh     float64
+	kernels int
+	neurons []*device.SpikingNeuron
+	// scale converts crossbar dot-product units into wall displacement
+	// per cycle so that VTh corresponds to a full device traversal.
+	Stats PipelineStats
+}
+
+// NewSNNCore builds an SNN core around a fresh super-tile.
+func NewSNNCore(p device.Params, cfg crossbar.Config, vth float64, noise *rng.Rand) *SNNCore {
+	return &SNNCore{ST: NewSuperTile(p, cfg, noise), VTh: vth}
+}
+
+// Program loads the layer kernels and allocates MTJ neurons: one per
+// kernel per time-multiplexed output position. Positions model kernel
+// replication — each replica's neuron holds its own position's membrane
+// in its domain-wall, so no membrane ever visits SRAM (§IV-B4).
+func (c *SNNCore) Program(w *tensor.Tensor, wmax float64, positions int) error {
+	if positions < 1 {
+		return fmt.Errorf("arch: positions must be ≥ 1")
+	}
+	if err := c.ST.Program(w, wmax); err != nil {
+		return err
+	}
+	c.kernels = w.Dim(1)
+	c.neurons = make([]*device.SpikingNeuron, c.kernels*positions)
+	for i := range c.neurons {
+		c.neurons[i] = device.NewSpikingNeuron(c.ST.P)
+	}
+	return nil
+}
+
+// Reset returns every neuron's domain wall to the resting edge.
+func (c *SNNCore) Reset() {
+	for _, n := range c.neurons {
+		n.Reset()
+	}
+	c.Stats = PipelineStats{}
+}
+
+// Step advances one timestep at output position 0 — the dense-layer case.
+func (c *SNNCore) Step(spikes []float64) ([]float64, error) {
+	return c.StepAt(0, spikes)
+}
+
+// stepAtWithBias is StepAt with a per-kernel bias current added to the
+// crossbar sum before integration, modelling the constantly-driven bias
+// row of the standard crossbar mapping.
+func (c *SNNCore) stepAtWithBias(pos int, spikes, bias []float64) ([]float64, error) {
+	return c.step(pos, spikes, bias)
+}
+
+// StepAt advances one timestep for output position pos: binary input
+// spikes drive the crossbar, the summed source-line current displaces
+// each position-neuron's domain wall in proportion to its membrane
+// increment, and neurons whose wall reaches the far edge emit a spike and
+// self-reset.
+func (c *SNNCore) StepAt(pos int, spikes []float64) ([]float64, error) {
+	return c.step(pos, spikes, nil)
+}
+
+func (c *SNNCore) step(pos int, spikes, bias []float64) ([]float64, error) {
+	if c.neurons == nil {
+		return nil, fmt.Errorf("arch: SNN core not programmed")
+	}
+	if (pos+1)*c.kernels > len(c.neurons) {
+		return nil, fmt.Errorf("arch: position %d beyond allocated replicas", pos)
+	}
+	c.Stats.Cycles++
+	c.Stats.EDRAMReads++
+	sums, err := c.ST.Evaluate(spikes)
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.Cycles++
+	c.Stats.Evaluations++
+	if bias != nil {
+		for i := range sums {
+			if i < len(bias) {
+				sums[i] += bias[i]
+			}
+		}
+	}
+	out := make([]float64, len(sums))
+	p := c.ST.P
+	// Map a membrane increment of VTh to a full wall traversal within
+	// one 110 ns cycle: current = increment/VTh · (current that moves the
+	// wall the full length in one pulse) + the depinning offset.
+	span := p.LengthNM / (p.MobilityNMPerUAns * p.PulseNS)
+	bank := c.neurons[pos*c.kernels : (pos+1)*c.kernels]
+	for i, inc := range sums {
+		if inc == 0 {
+			continue
+		}
+		mag := inc
+		if mag < 0 {
+			mag = -mag
+		}
+		cur := mag/c.VTh*span + p.DepinningCurrentUA
+		if inc < 0 {
+			cur = -cur // inhibition drives the wall back toward reset
+		}
+		if bank[i].Integrate(cur, p.PulseNS) {
+			out[i] = 1
+			c.Stats.Spikes++
+		}
+	}
+	c.Stats.Cycles++
+	c.Stats.EDRAMWrites++
+	return out, nil
+}
+
+// Membranes returns the normalized membrane potentials (wall positions)
+// of position 0's neuron bank.
+func (c *SNNCore) Membranes() []float64 {
+	out := make([]float64, c.kernels)
+	for i := range out {
+		out[i] = c.neurons[i].Membrane()
+	}
+	return out
+}
+
+// FitsInCore reports whether a kernel matrix of rf×k maps onto a single
+// super-tile.
+func FitsInCore(rf, k int) bool {
+	stack := (rf + mapping.M - 1) / mapping.M
+	sets := (k + mapping.M - 1) / mapping.M
+	return rf <= mapping.MaxRowsPerNC && stack*sets <= mapping.ACsPerNC
+}

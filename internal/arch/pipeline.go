@@ -1,0 +1,142 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+)
+
+// PipelineReport summarizes a streaming simulation of the Fig. 8 pipeline.
+type PipelineReport struct {
+	// Items is the number of work items streamed.
+	Items int
+	// Cycles is the total cycle count until the last item drained.
+	Cycles int64
+	// FirstOutCycle is when the first item completed (fill latency).
+	FirstOutCycle int64
+	// SteadyStateIPC is items per cycle once the pipeline is full.
+	SteadyStateIPC float64
+	// WallTimeNS converts Cycles at the 110 ns stage latency.
+	WallTimeNS float64
+}
+
+// pipeStage models one stage of a synchronous pipeline with unit
+// occupancy per item.
+type pipeStage struct {
+	name string
+	// busyUntil is the cycle the stage frees up.
+	busyUntil int64
+}
+
+// Pipeline is a synchronous in-order pipeline simulator: items advance one
+// stage per cycle when the next stage is free. It reproduces the Fig. 8
+// timing — fetch (eDRAM→IB), evaluate (crossbar+NU), write-back (OB→eDRAM)
+// — plus optional reduction stages on the multi-NC spill path.
+type Pipeline struct {
+	stages []pipeStage
+}
+
+// NewCorePipeline builds the 3-stage neural-core pipeline, extending it
+// with `reduction` extra stages (digitize, reduce hops, activate) when the
+// mapped layer spills across cores.
+func NewCorePipeline(reduction int) *Pipeline {
+	p := &Pipeline{}
+	p.stages = append(p.stages,
+		pipeStage{name: "fetch"},
+		pipeStage{name: "evaluate"},
+		pipeStage{name: "writeback"},
+	)
+	for i := 0; i < reduction; i++ {
+		p.stages = append(p.stages, pipeStage{name: fmt.Sprintf("reduce%d", i)})
+	}
+	return p
+}
+
+// Depth returns the stage count.
+func (p *Pipeline) Depth() int { return len(p.stages) }
+
+// Stream pushes n items through the pipeline, one injected per cycle when
+// stage 0 is free, and returns the timing report.
+func (p *Pipeline) Stream(n int) PipelineReport {
+	for i := range p.stages {
+		p.stages[i].busyUntil = 0
+	}
+	var rep PipelineReport
+	rep.Items = n
+	var lastDone int64
+	for item := 0; item < n; item++ {
+		// Inject when stage 0 frees.
+		t := p.stages[0].busyUntil
+		for s := range p.stages {
+			if t < p.stages[s].busyUntil {
+				t = p.stages[s].busyUntil
+			}
+			// Occupy stage s during [t, t+1).
+			p.stages[s].busyUntil = t + 1
+			t++
+		}
+		if item == 0 {
+			rep.FirstOutCycle = t
+		}
+		lastDone = t
+	}
+	rep.Cycles = lastDone
+	if n > 1 {
+		rep.SteadyStateIPC = float64(n-1) / float64(lastDone-rep.FirstOutCycle)
+	}
+	rep.WallTimeNS = float64(rep.Cycles) * mapping.CycleNS
+	return rep
+}
+
+// StreamLayer streams one mapped layer's evaluations through its core
+// pipeline: the standard 3 stages, plus 2+log2(spill) reduction stages on
+// the ADC path (Fig. 8's dashed box).
+func StreamLayer(p mapping.Placement) PipelineReport {
+	reduction := 0
+	if p.NeedsADC() {
+		reduction = 2 + log2ceil(p.NCSpill)
+	}
+	pipe := NewCorePipeline(reduction)
+	return pipe.Stream(p.Evaluations)
+}
+
+func log2ceil(n int) int {
+	c := 0
+	for v := 1; v < n; v <<= 1 {
+		c++
+	}
+	return c
+}
+
+// NetworkStream models layer-level pipelining across a whole workload:
+// each weighted layer is a pipeline segment; image i+1 enters a layer as
+// soon as image i has left it. The report's steady-state IPC is the
+// inference throughput in images per cycle.
+func NetworkStream(np mapping.NetworkPlacement, images int) PipelineReport {
+	// The slowest layer bounds throughput: its per-image occupancy is its
+	// evaluation count (time-multiplexed output positions).
+	maxEvals := 1
+	totalFill := 0
+	for _, p := range np.Placements {
+		if p.ACsUsed == 0 {
+			continue
+		}
+		if p.Evaluations > maxEvals {
+			maxEvals = p.Evaluations
+		}
+		totalFill += 3
+		if p.NeedsADC() {
+			totalFill += 2 + log2ceil(p.NCSpill)
+		}
+	}
+	var rep PipelineReport
+	rep.Items = images
+	fill := int64(totalFill) + int64(maxEvals)
+	rep.FirstOutCycle = fill
+	rep.Cycles = fill + int64((images-1)*maxEvals)
+	if images > 1 {
+		rep.SteadyStateIPC = 1 / float64(maxEvals)
+	}
+	rep.WallTimeNS = float64(rep.Cycles) * mapping.CycleNS
+	return rep
+}

@@ -1,0 +1,82 @@
+package arch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+func TestPipelineSingleItemLatency(t *testing.T) {
+	p := NewCorePipeline(0)
+	rep := p.Stream(1)
+	if rep.FirstOutCycle != 3 {
+		t.Fatalf("fill latency %d, want 3 (Fig. 8)", rep.FirstOutCycle)
+	}
+	if rep.Cycles != 3 {
+		t.Fatalf("cycles %d", rep.Cycles)
+	}
+}
+
+func TestPipelineSteadyStateThroughput(t *testing.T) {
+	p := NewCorePipeline(0)
+	rep := p.Stream(100)
+	// One item per cycle after fill: 100 items in 3 + 99 cycles.
+	if rep.Cycles != 102 {
+		t.Fatalf("cycles %d, want 102", rep.Cycles)
+	}
+	if math.Abs(rep.SteadyStateIPC-1) > 1e-9 {
+		t.Fatalf("IPC %v, want 1", rep.SteadyStateIPC)
+	}
+}
+
+func TestPipelineReductionAddsLatencyNotThroughput(t *testing.T) {
+	short := NewCorePipeline(0).Stream(50)
+	long := NewCorePipeline(3).Stream(50)
+	if long.FirstOutCycle != short.FirstOutCycle+3 {
+		t.Fatalf("reduction latency: %d vs %d", long.FirstOutCycle, short.FirstOutCycle)
+	}
+	if math.Abs(long.SteadyStateIPC-short.SteadyStateIPC) > 1e-9 {
+		t.Fatal("pipelined reduction must not cut steady-state throughput")
+	}
+}
+
+func TestStreamLayerMatchesLatencyModel(t *testing.T) {
+	// StreamLayer's cycle count must agree with the analytic LatencyNS of
+	// package mapping for in-core layers.
+	l := models.LayerShape{Kind: models.Conv, InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16}
+	p := mapping.Map(l)
+	rep := StreamLayer(p)
+	if math.Abs(rep.WallTimeNS-p.LatencyNS()) > 1e-9 {
+		t.Fatalf("pipeline wall time %v vs analytic %v", rep.WallTimeNS, p.LatencyNS())
+	}
+}
+
+func TestNetworkStreamThroughputBoundedBySlowestLayer(t *testing.T) {
+	np := mapping.MapWorkload(models.FullVGG13(10, 300, 91.6, 90.05))
+	rep := NetworkStream(np, 100)
+	// VGG's slowest layer runs 1024 evaluations per image.
+	want := 1.0 / 1024
+	if math.Abs(rep.SteadyStateIPC-want) > 1e-12 {
+		t.Fatalf("IPC %v, want %v", rep.SteadyStateIPC, want)
+	}
+	if rep.FirstOutCycle <= 1024 {
+		t.Fatalf("fill latency %d too small", rep.FirstOutCycle)
+	}
+	// Streaming 100 images must take less than 100× one image's latency
+	// — the point of pipelining.
+	single := NetworkStream(np, 1)
+	if rep.Cycles >= 100*single.Cycles {
+		t.Fatalf("no pipelining benefit: %d vs %d", rep.Cycles, 100*single.Cycles)
+	}
+}
+
+func TestNetworkStreamMLPFast(t *testing.T) {
+	np := mapping.MapWorkload(models.FullMLP3())
+	rep := NetworkStream(np, 10)
+	// Every MLP layer is a single evaluation: IPC 1.
+	if rep.SteadyStateIPC != 1 {
+		t.Fatalf("MLP IPC %v", rep.SteadyStateIPC)
+	}
+}

@@ -1,0 +1,185 @@
+// Package arch is the structural simulator of the NEBULA chip: atomic
+// crossbars ganged into morphable tiles and super-tiles with the
+// current-domain neuron-unit hierarchy (Fig. 7), ANN and SNN neural cores
+// with the Fig. 8 pipeline, and a chip that executes converted networks on
+// the simulated crossbar hardware.
+//
+// Where package energy answers "what does it cost", this package answers
+// "does the datapath compute the right thing": layers run through actual
+// device-quantized crossbar MACs, current summation across the hierarchy,
+// and MTJ neuron thresholding, so architectural claims (morphable mapping,
+// ADC-free aggregation up to 16M rows, in-device membrane storage) are
+// exercised functionally.
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// SuperTile is a 2×2 array of morphable tiles, each 2×2 atomic crossbars:
+// 16 ACs of M×M DW-MTJ synapses. Vertical switch configuration gangs
+// `stack` ACs per kernel-column group, summing their source-line currents
+// in the analog domain at the appropriate NU hierarchy level.
+type SuperTile struct {
+	P   device.Params
+	Cfg crossbar.Config
+
+	acs   []*crossbar.Crossbar
+	stack int // ACs ganged vertically per set
+	sets  int // kernel column groups
+	rows  int // mapped kernel rows (Rf)
+	cols  int // mapped kernel count
+	wmax  float64
+}
+
+// NewSuperTile allocates an unconfigured super-tile.
+func NewSuperTile(p device.Params, cfg crossbar.Config, noise *rng.Rand) *SuperTile {
+	st := &SuperTile{P: p, Cfg: cfg}
+	for i := 0; i < mapping.ACsPerNC; i++ {
+		var r *rng.Rand
+		if noise != nil {
+			r = noise.Split()
+		}
+		st.acs = append(st.acs, crossbar.New(mapping.M, mapping.M, p, cfg, r))
+	}
+	return st
+}
+
+// Program loads a kernel matrix of shape Rf×K: Rf rows (the flattened
+// receptive field, Fig. 5) by K kernels. It configures the morphable
+// switches for stack = ceil(Rf/M) and sets = ceil(K/M) and programs the
+// constituent ACs. The layer must fit: stack·sets ≤ 16 and Rf ≤ 16M.
+func (st *SuperTile) Program(w *tensor.Tensor, wmax float64) error {
+	if w.NDim() != 2 {
+		return fmt.Errorf("arch: kernel matrix must be 2-D, got %v", w.Shape())
+	}
+	rf, k := w.Dim(0), w.Dim(1)
+	if rf > mapping.MaxRowsPerNC {
+		return fmt.Errorf("arch: Rf %d exceeds super-tile capacity %d", rf, mapping.MaxRowsPerNC)
+	}
+	stack := (rf + mapping.M - 1) / mapping.M
+	sets := (k + mapping.M - 1) / mapping.M
+	if stack*sets > mapping.ACsPerNC {
+		return fmt.Errorf("arch: layer needs %d ACs, super-tile has %d", stack*sets, mapping.ACsPerNC)
+	}
+	st.stack, st.sets, st.rows, st.cols, st.wmax = stack, sets, rf, k, wmax
+
+	for s := 0; s < sets; s++ {
+		colLo := s * mapping.M
+		colHi := min(colLo+mapping.M, k)
+		for h := 0; h < stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, rf)
+			sub := tensor.New(mapping.M, mapping.M)
+			for r := rowLo; r < rowHi; r++ {
+				for c := colLo; c < colHi; c++ {
+					sub.Set(w.At(r, c), r-rowLo, c-colLo)
+				}
+			}
+			if err := st.ac(s, h).Program(sub, wmax); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ac returns the atomic crossbar at (set, height) in the logical stack.
+func (st *SuperTile) ac(set, height int) *crossbar.Crossbar {
+	return st.acs[set*st.stack+height]
+}
+
+// NULevel returns the hierarchy level that thresholds this configuration.
+func (st *SuperTile) NULevel() mapping.NULevel {
+	switch {
+	case st.stack <= 1:
+		return mapping.LevelH0
+	case st.stack <= mapping.ACsPerTile:
+		return mapping.LevelH1
+	default:
+		return mapping.LevelH2
+	}
+}
+
+// Evaluate drives one input vector (length Rf, values in [0, 1]) through
+// the configured arrays and returns the K column dot products, aggregated
+// across the stack by Kirchhoff current summation — no digitization.
+func (st *SuperTile) Evaluate(input []float64) ([]float64, error) {
+	if st.stack == 0 {
+		return nil, fmt.Errorf("arch: super-tile not programmed")
+	}
+	if len(input) != st.rows {
+		return nil, fmt.Errorf("arch: input length %d, want Rf %d", len(input), st.rows)
+	}
+	out := make([]float64, st.cols)
+	slice := make([]float64, mapping.M)
+	for s := 0; s < st.sets; s++ {
+		colLo := s * mapping.M
+		colHi := min(colLo+mapping.M, st.cols)
+		for h := 0; h < st.stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, st.rows)
+			for i := range slice {
+				slice[i] = 0
+			}
+			copy(slice, input[rowLo:rowHi])
+			part, err := st.ac(s, h).MAC(slice)
+			if err != nil {
+				return nil, err
+			}
+			// SL current summation: partial dot products add in the
+			// current domain across the vertical stack (§IV-B3).
+			for c := colLo; c < colHi; c++ {
+				out[c] += part[c-colLo]
+			}
+		}
+	}
+	return out, nil
+}
+
+// Utilization reports the synapse utilization of the configured layer.
+func (st *SuperTile) Utilization() float64 {
+	if st.stack == 0 {
+		return 0
+	}
+	return float64(st.rows*st.cols) / float64(st.stack*st.sets*mapping.M*mapping.M)
+}
+
+// Stats aggregates activity counters across the configured ACs.
+func (st *SuperTile) Stats() crossbar.Stats {
+	var total crossbar.Stats
+	for _, ac := range st.acs {
+		s := ac.Stats()
+		total.MACs += s.MACs
+		total.ActiveRowSum += s.ActiveRowSum
+		total.OutputCurrentUA += s.OutputCurrentUA
+		total.ProgramEnergyFJ += s.ProgramEnergyFJ
+	}
+	return total
+}
+
+// InjectStuckFaults forces a fraction of the configured arrays' devices
+// into stuck states, for fault-resilience studies. Returns the number of
+// faulted devices.
+func (st *SuperTile) InjectStuckFaults(r *rng.Rand, fraction float64, mode crossbar.FaultMode) int {
+	n := 0
+	for s := 0; s < st.sets; s++ {
+		for h := 0; h < st.stack; h++ {
+			n += st.ac(s, h).InjectStuckFaults(r, fraction, mode)
+		}
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

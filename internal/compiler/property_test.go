@@ -1,0 +1,75 @@
+package compiler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/placement"
+)
+
+// TestSynapseCoverageProperty: over random single-layer workloads, the
+// compiled programs cover every weight exactly once.
+func TestSynapseCoverageProperty(t *testing.T) {
+	f := func(inCRaw, outCRaw, kRaw, sizeRaw uint8) bool {
+		k := []int{1, 3, 5}[kRaw%3]
+		inC := int(inCRaw)%256 + 1
+		outC := int(outCRaw)%512 + 1
+		size := int(sizeRaw)%24 + k
+		l := models.LayerShape{
+			Name: "l", Kind: models.Conv, InC: inC, OutC: outC,
+			K: k, Stride: 1, Pad: k / 2, InH: size, InW: size,
+		}
+		w := models.Workload{Name: "fuzz", Layers: []models.LayerShape{l}}
+		np := mapping.MapWorkload(w)
+		// Use a mesh large enough for any fuzzed layer.
+		a, err := placement.Place(np, 64, 64)
+		if err != nil {
+			return true // over-capacity is a placement concern, not compile
+		}
+		s, err := Compile(a)
+		if err != nil {
+			return false
+		}
+		return s.TotalSynapses == int64(l.Rf())*int64(l.Kernels())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgramsRespectCoreCapacityProperty: no compiled program exceeds a
+// super-tile's crossbar budget.
+func TestProgramsRespectCoreCapacityProperty(t *testing.T) {
+	f := func(inCRaw, outCRaw, sizeRaw uint8) bool {
+		inC := int(inCRaw)%256 + 1
+		outC := int(outCRaw)%512 + 1
+		size := int(sizeRaw)%24 + 3
+		l := models.LayerShape{
+			Name: "l", Kind: models.Conv, InC: inC, OutC: outC,
+			K: 3, Stride: 1, Pad: 1, InH: size, InW: size,
+		}
+		w := models.Workload{Name: "fuzz", Layers: []models.LayerShape{l}}
+		a, err := placement.Place(mapping.MapWorkload(w), 64, 64)
+		if err != nil {
+			return true
+		}
+		s, err := Compile(a)
+		if err != nil {
+			return false
+		}
+		for _, p := range s.Programs {
+			rows := p.RowHi - p.RowLo
+			stacks := (rows + mapping.M - 1) / mapping.M
+			sets := (p.Kernels + mapping.M - 1) / mapping.M
+			if stacks*sets > mapping.ACsPerNC {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,524 @@
+// Package convert implements the ANN-to-SNN conversion pipeline of §V-A of
+// the NEBULA paper, adapted from Cao et al., Diehl et al. and Rueckauer et
+// al.:
+//
+//   - batch-normalization layers are folded into the weights and biases of
+//     the preceding convolution, producing a BN-free network;
+//   - max pooling is rejected (networks must be trained with average
+//     pooling) and an IF neuron layer is inserted after every pooling
+//     stage;
+//   - thresholds are set by data-based weight normalization: per-stage
+//     activation maxima λ are measured on calibration data and each
+//     stage's weights/biases are rescaled so all IF thresholds are 1.
+//
+// The package also provides the ANN/SNN feature-map correlation analysis
+// of Fig. 10 and accuracy evaluation of converted networks (Table I).
+package convert
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+// Config controls conversion.
+type Config struct {
+	// Percentile used for the data-based normalization factors λ
+	// (Rueckauer et al. recommend a high percentile rather than the raw
+	// max for robustness).
+	Percentile float64
+	// CalibrationSamples is the number of images used to measure λ.
+	CalibrationSamples int
+	// Mode is the IF reset behaviour.
+	Mode snn.ResetMode
+	// Gain is the Poisson input rate per unit pixel intensity.
+	Gain float64
+	// Leak is the per-step membrane retention factor applied to every IF
+	// stage (1 = pure IF, the conversion default; <1 adds the leaky
+	// dynamics §II-A mentions as an extension). Zero means 1.
+	Leak float64
+	// Refractory is the post-spike dead time in timesteps (0 default).
+	Refractory int
+}
+
+// DefaultConfig returns the settings used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{Percentile: 99.5, CalibrationSamples: 64, Mode: snn.ResetBySubtraction, Gain: 1.0}
+}
+
+// Stage links one layer of the spiking network back to the span of folded
+// ANN layers it implements. The hybrid splitter uses this to cut the
+// network at any stage boundary.
+type Stage struct {
+	// SNNLayer indexes into Converted.SNN.Layers.
+	SNNLayer int
+	// ANNStart and ANNEnd delimit the folded ANN layers [ANNStart,
+	// ANNEnd] realized by this stage; ANNEnd is the layer whose output is
+	// the stage's activation.
+	ANNStart, ANNEnd int
+	// Weighted reports whether the stage carries crossbar weights
+	// (conv/dense/output, not pool/flatten).
+	Weighted bool
+	// Lambda is the activation scale divided out of this stage's outputs
+	// (1 for stateless stages and the output read-out).
+	Lambda float64
+	// Kind is one of "conv", "dense", "pool", "flatten", "output".
+	Kind string
+}
+
+// Converted bundles a spiking network with the metadata linking it back to
+// its source ANN.
+type Converted struct {
+	SNN *snn.Network
+	// Folded is the BN-free ANN the SNN was derived from.
+	Folded *nn.Network
+	// Lambda[s] is the activation scale of spiking stage s (the
+	// normalization factor divided out of that stage's outputs).
+	Lambda []float64
+	// StageANNLayer[s] is the index into Folded.Layers() whose output is
+	// the ANN counterpart of spiking stage s (the post-ReLU activation).
+	StageANNLayer []int
+	// Stages describes every SNN layer in order, including stateless ones.
+	Stages []Stage
+	Cfg    Config
+}
+
+// FoldBatchNorm returns a copy of net with every BatchNorm2D folded into
+// the preceding Conv2D, per §V-A ("Handling Batch-Normalization Layers").
+// Other layers are deep-copied unchanged.
+func FoldBatchNorm(net *nn.Network) *nn.Network {
+	src := net.Layers()
+	out := nn.NewNetwork(net.Name() + "-folded")
+	for i := 0; i < len(src); i++ {
+		if conv, ok := src[i].(*nn.Conv2D); ok && i+1 < len(src) {
+			if bn, ok2 := src[i+1].(*nn.BatchNorm2D); ok2 {
+				out.Add(foldConvBN(conv, bn))
+				i++ // skip the BN layer
+				continue
+			}
+		}
+		out.Add(cloneLayer(src[i]))
+	}
+	return out
+}
+
+// foldConvBN merges BN statistics into a cloned convolution:
+// w' = γ/√(σ²+ε)·w ;  b' = γ(b−μ)/√(σ²+ε) + β.
+func foldConvBN(conv *nn.Conv2D, bn *nn.BatchNorm2D) *nn.Conv2D {
+	c := cloneConv(conv)
+	gamma, beta := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	mean, variance := bn.RunningMean.Data(), bn.RunningVar.Data()
+	w := c.Weight.Value
+	b := c.Bias.Value.Data()
+	perOut := w.Size() / w.Dim(0)
+	wd := w.Data()
+	for oc := 0; oc < w.Dim(0); oc++ {
+		scale := gamma[oc] / math.Sqrt(variance[oc]+bn.Eps)
+		for j := 0; j < perOut; j++ {
+			wd[oc*perOut+j] *= scale
+		}
+		b[oc] = scale*(b[oc]-mean[oc]) + beta[oc]
+	}
+	return c
+}
+
+func cloneConv(src *nn.Conv2D) *nn.Conv2D {
+	c := nn.NewConv2D(src.Name(), src.InC, src.OutC, src.KH, src.KW, src.Stride, src.Pad, src.Groups, rng.New(0))
+	copy(c.Weight.Value.Data(), src.Weight.Value.Data())
+	copy(c.Bias.Value.Data(), src.Bias.Value.Data())
+	return c
+}
+
+func cloneLinear(src *nn.Linear) *nn.Linear {
+	l := nn.NewLinear(src.Name(), src.In, src.Out, rng.New(0))
+	copy(l.Weight.Value.Data(), src.Weight.Value.Data())
+	copy(l.Bias.Value.Data(), src.Bias.Value.Data())
+	return l
+}
+
+// cloneLayer deep-copies the layer types the conversion pipeline supports.
+func cloneLayer(l nn.Layer) nn.Layer {
+	switch v := l.(type) {
+	case *nn.Conv2D:
+		return cloneConv(v)
+	case *nn.Linear:
+		return cloneLinear(v)
+	case *nn.ReLU:
+		return nn.NewClippedReLU(v.Name(), v.Clip)
+	case *nn.AvgPool2D:
+		return nn.NewAvgPool2D(v.Name(), v.K, v.Stride)
+	case *nn.MaxPool2D:
+		return nn.NewMaxPool2D(v.Name(), v.K, v.Stride)
+	case *nn.Flatten:
+		return nn.NewFlatten(v.Name())
+	case *nn.BatchNorm2D:
+		// Standalone BN (no preceding conv) cannot be folded; copy it.
+		bn := nn.NewBatchNorm2D(v.Name(), v.C)
+		copy(bn.Gamma.Value.Data(), v.Gamma.Value.Data())
+		copy(bn.Beta.Value.Data(), v.Beta.Value.Data())
+		copy(bn.RunningMean.Data(), v.RunningMean.Data())
+		copy(bn.RunningVar.Data(), v.RunningVar.Data())
+		return bn
+	default:
+		panic(fmt.Sprintf("convert: cannot clone layer %s (%T)", l.Name(), l))
+	}
+}
+
+// stage is an intermediate grouping of folded ANN layers into spiking
+// stages: each weighted layer (conv/linear) or pooling layer becomes one
+// stage whose output passes through IF neurons.
+type stage struct {
+	kind     string // "conv", "dense", "pool", "flatten", "output"
+	conv     *nn.Conv2D
+	lin      *nn.Linear
+	pool     *nn.AvgPool2D
+	annStart int // index in folded.Layers() of the stage's first layer
+	annLayer int // index in folded.Layers() of the stage's output activation
+}
+
+// buildStages walks the folded network and groups layers into stages. The
+// final Linear becomes the non-firing output stage.
+func buildStages(folded *nn.Network) ([]stage, error) {
+	layers := folded.Layers()
+	var stages []stage
+	for i := 0; i < len(layers); i++ {
+		switch v := layers[i].(type) {
+		case *nn.Conv2D:
+			s := stage{kind: "conv", conv: v, annStart: i, annLayer: i}
+			// The stage's ANN activation is the following ReLU if present.
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*nn.ReLU); ok {
+					s.annLayer = i + 1
+					i++
+				}
+			}
+			stages = append(stages, s)
+		case *nn.Linear:
+			s := stage{kind: "dense", lin: v, annStart: i, annLayer: i}
+			if i+1 < len(layers) {
+				if _, ok := layers[i+1].(*nn.ReLU); ok {
+					s.annLayer = i + 1
+					i++
+					stages = append(stages, s)
+					continue
+				}
+			}
+			// Linear with no following ReLU: the read-out layer.
+			s.kind = "output"
+			stages = append(stages, s)
+		case *nn.AvgPool2D:
+			stages = append(stages, stage{kind: "pool", pool: v, annStart: i, annLayer: i})
+		case *nn.Flatten:
+			stages = append(stages, stage{kind: "flatten", annStart: i, annLayer: i})
+		case *nn.MaxPool2D:
+			return nil, fmt.Errorf("convert: %s uses max pooling; retrain with average pooling (§V-A)", v.Name())
+		case *nn.BatchNorm2D:
+			return nil, fmt.Errorf("convert: unfolded batch norm %s; call FoldBatchNorm first", v.Name())
+		default:
+			return nil, fmt.Errorf("convert: unsupported layer %s (%T)", layers[i].Name(), layers[i])
+		}
+	}
+	if len(stages) == 0 || stages[len(stages)-1].kind != "output" {
+		return nil, fmt.Errorf("convert: network must end in a Linear read-out layer")
+	}
+	return stages, nil
+}
+
+// Convert builds a rate-coded spiking network from a trained ANN using
+// data-based weight normalization on calibration images.
+func Convert(net *nn.Network, calib *dataset.Dataset, cfg Config) (*Converted, error) {
+	folded := FoldBatchNorm(net)
+	stages, err := buildStages(folded)
+	if err != nil {
+		return nil, err
+	}
+
+	// Measure per-layer activation maxima λ on calibration data.
+	n := cfg.CalibrationSamples
+	if n > calib.Len() {
+		n = calib.Len()
+	}
+	x, _ := calib.Batch(0, n)
+	outs := folded.ForwardCapture(x, false)
+
+	lambda := func(layerIdx int) float64 {
+		v := quant.Percentile(outs[layerIdx].Data(), cfg.Percentile)
+		if v <= 0 {
+			// A dead stage: keep scale 1 to avoid dividing by zero.
+			return 1
+		}
+		return v
+	}
+
+	conv := &Converted{Folded: folded, Cfg: cfg}
+	var snnLayers []snn.Layer
+	prevLambda := 1.0 // inputs are pixel intensities in [0, 1]
+	addStage := func(kind string, s stage, lam float64, weighted bool) {
+		conv.Stages = append(conv.Stages, Stage{
+			SNNLayer: len(snnLayers) - 1,
+			ANNStart: s.annStart,
+			ANNEnd:   s.annLayer,
+			Weighted: weighted,
+			Lambda:   lam,
+			Kind:     kind,
+		})
+	}
+	for _, s := range stages {
+		switch s.kind {
+		case "conv":
+			lam := lambda(s.annLayer)
+			w := s.conv.Weight.Value.Clone()
+			w.ScaleInPlace(prevLambda / lam)
+			b := s.conv.Bias.Value.Clone()
+			b.ScaleInPlace(1 / lam)
+			snnLayers = append(snnLayers, snn.NewConv(s.conv.Name(), w, b, s.conv.Stride, s.conv.Pad, s.conv.Groups, 1.0, cfg.Mode))
+			conv.Lambda = append(conv.Lambda, lam)
+			conv.StageANNLayer = append(conv.StageANNLayer, s.annLayer)
+			addStage("conv", s, lam, true)
+			prevLambda = lam
+		case "dense":
+			lam := lambda(s.annLayer)
+			w := s.lin.Weight.Value.Clone()
+			w.ScaleInPlace(prevLambda / lam)
+			b := s.lin.Bias.Value.Clone()
+			b.ScaleInPlace(1 / lam)
+			snnLayers = append(snnLayers, snn.NewDense(s.lin.Name(), w, b, 1.0, cfg.Mode))
+			conv.Lambda = append(conv.Lambda, lam)
+			conv.StageANNLayer = append(conv.StageANNLayer, s.annLayer)
+			addStage("dense", s, lam, true)
+			prevLambda = lam
+		case "pool":
+			// Average pooling of unit-scale rates stays unit-scale; the
+			// added IF layer (threshold 1, subtraction reset) re-emits
+			// spikes and preserves the long-run average rate exactly.
+			snnLayers = append(snnLayers, snn.NewAvgPoolIF(s.pool.Name(), s.pool.K, s.pool.Stride, 1.0, cfg.Mode))
+			conv.Lambda = append(conv.Lambda, prevLambda)
+			conv.StageANNLayer = append(conv.StageANNLayer, s.annLayer)
+			addStage("pool", s, prevLambda, false)
+		case "flatten":
+			snnLayers = append(snnLayers, snn.NewFlatten("flatten"))
+			addStage("flatten", s, prevLambda, false)
+		case "output":
+			w := s.lin.Weight.Value.Clone()
+			w.ScaleInPlace(prevLambda)
+			b := s.lin.Bias.Value.Clone()
+			snnLayers = append(snnLayers, snn.NewOutput(s.lin.Name(), w, b))
+			addStage("output", s, 1, true)
+		}
+	}
+	conv.SNN = snn.NewNetwork(net.Name()+"-snn", snnLayers...)
+	if cfg.Leak > 0 && cfg.Leak < 1 || cfg.Refractory > 0 {
+		leak := cfg.Leak
+		if leak <= 0 {
+			leak = 1
+		}
+		for _, l := range conv.SNN.Layers {
+			switch v := l.(type) {
+			case *snn.Dense:
+				v.IF.Leak, v.IF.Refractory = leak, cfg.Refractory
+			case *snn.Conv:
+				v.IF.Leak, v.IF.Refractory = leak, cfg.Refractory
+			case *snn.AvgPoolIF:
+				v.IF.Leak, v.IF.Refractory = leak, cfg.Refractory
+			}
+		}
+	}
+	return conv, nil
+}
+
+// EvalResult reports SNN accuracy and spiking statistics over a dataset.
+type EvalResult struct {
+	Accuracy float64
+	// MeanActivity[l] is spikes per neuron per timestep for stateful
+	// layer l, averaged over evaluated images (Fig. 4).
+	MeanActivity []float64
+	// MeanInputRate is the average encoder spike probability.
+	MeanInputRate float64
+	Timesteps     int
+	Samples       int
+}
+
+// Evaluate runs the converted SNN over up to maxSamples of data for T
+// timesteps per image and reports accuracy plus layer activity. Images
+// are evaluated concurrently on up to GOMAXPROCS worker networks; each
+// image's encoder seed derives deterministically from its index, so the
+// result is independent of scheduling.
+func (c *Converted) Evaluate(data *dataset.Dataset, T, maxSamples int, seed uint64) EvalResult {
+	n := maxSamples
+	if n > data.Len() {
+		n = data.Len()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Pre-derive one encoder RNG per image (order-independent).
+	encs := make([]*rng.Rand, n)
+	base := rng.New(seed)
+	for i := range encs {
+		encs[i] = base.Split()
+	}
+
+	type partial struct {
+		correct   int
+		activity  []float64
+		inputRate float64
+	}
+	results := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker gets a private copy of the network's mutable
+			// state by rebuilding the layer list with fresh IF state
+			// (weights are shared read-only).
+			net := c.cloneSNN()
+			p := &results[w]
+			for i := w; i < n; i += workers {
+				img, label := data.Sample(i)
+				enc := snn.NewPoissonEncoder(c.Cfg.Gain, encs[i])
+				res := net.Run(img, T, enc)
+				if res.Predict() == label {
+					p.correct++
+				}
+				act := res.ActivityPerLayer()
+				if p.activity == nil {
+					p.activity = make([]float64, len(act))
+				}
+				for j, a := range act {
+					p.activity[j] += a
+				}
+				p.inputRate += res.InputSpikes / float64(res.InputNeurons) / float64(T)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := EvalResult{Timesteps: T, Samples: n}
+	var activity []float64
+	inputRate := 0.0
+	correct := 0
+	for _, p := range results {
+		correct += p.correct
+		inputRate += p.inputRate
+		if p.activity != nil {
+			if activity == nil {
+				activity = make([]float64, len(p.activity))
+			}
+			for j, a := range p.activity {
+				activity[j] += a
+			}
+		}
+	}
+	for j := range activity {
+		activity[j] /= float64(n)
+	}
+	out.Accuracy = float64(correct) / float64(n)
+	out.MeanActivity = activity
+	out.MeanInputRate = inputRate / float64(n)
+	return out
+}
+
+// cloneSNN builds a network sharing weights but with private membrane
+// state, for concurrent evaluation.
+func (c *Converted) cloneSNN() *snn.Network {
+	copyDynamics := func(dst, src *snn.IFState) {
+		dst.Leak = src.Leak
+		dst.Refractory = src.Refractory
+	}
+	layers := make([]snn.Layer, len(c.SNN.Layers))
+	for i, l := range c.SNN.Layers {
+		switch v := l.(type) {
+		case *snn.Dense:
+			d := snn.NewDense(v.Name(), v.W, v.B, v.IF.VTh, v.IF.Mode)
+			copyDynamics(d.IF, v.IF)
+			layers[i] = d
+		case *snn.Conv:
+			d := snn.NewConv(v.Name(), v.W, v.B, v.Stride, v.Pad, v.Groups, v.IF.VTh, v.IF.Mode)
+			copyDynamics(d.IF, v.IF)
+			layers[i] = d
+		case *snn.AvgPoolIF:
+			d := snn.NewAvgPoolIF(v.Name(), v.K, v.Stride, v.IF.VTh, v.IF.Mode)
+			copyDynamics(d.IF, v.IF)
+			layers[i] = d
+		case *snn.Flatten:
+			layers[i] = snn.NewFlatten(v.Name())
+		case *snn.Output:
+			layers[i] = snn.NewOutput(v.Name(), v.W, v.B)
+		default:
+			panic(fmt.Sprintf("convert: cannot clone SNN layer %T", l))
+		}
+	}
+	return snn.NewNetwork(c.SNN.Name(), layers...)
+}
+
+// Correlation computes the Pearson correlation between the ANN activation
+// map and the SNN firing-rate map of every spiking stage for a batch of
+// images, reproducing the Fig. 10 analysis. Entry s corresponds to
+// spiking stage s (same order as Lambda).
+func (c *Converted) Correlation(data *dataset.Dataset, T, samples int, seed uint64) []float64 {
+	r := rng.New(seed)
+	n := samples
+	if n > data.Len() {
+		n = data.Len()
+	}
+	sums := make([]float64, len(c.StageANNLayer))
+	for i := 0; i < n; i++ {
+		img, _ := data.Sample(i)
+		batch := img.Reshape(append([]int{1}, img.Shape()...)...)
+		annOuts := c.Folded.ForwardCapture(batch, false)
+		enc := snn.NewPoissonEncoder(c.Cfg.Gain, r.Split())
+		c.SNN.Run(img, T, enc)
+		rates := c.SNN.StatefulRates(T)
+		for s, annIdx := range c.StageANNLayer {
+			ann := annOuts[annIdx].Data()
+			normalized := make([]float64, len(ann))
+			for j, v := range ann {
+				normalized[j] = v / c.Lambda[s]
+			}
+			sums[s] += pearson(normalized, rates[s].Data())
+		}
+	}
+	for s := range sums {
+		sums[s] /= float64(n)
+	}
+	return sums
+}
+
+// pearson returns the Pearson correlation coefficient of two equal-length
+// vectors (0 when either is constant).
+func pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		panic("convert: pearson length mismatch")
+	}
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

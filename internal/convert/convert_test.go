@@ -1,0 +1,258 @@
+package convert
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+// Shared trained fixtures: training even small nets repeatedly is the slow
+// part of this package's tests.
+var (
+	fixtureOnce sync.Once
+	fixMLP      *nn.Network
+	fixLeNet    *nn.Network
+	fixTrain    *dataset.Dataset
+	fixTest     *dataset.Dataset
+)
+
+func fixtures(t *testing.T) (*nn.Network, *nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixTrain, fixTest = dataset.TrainTest(dataset.MNISTLike, 400, 150, 31)
+		fixMLP = models.NewMLP3(1, 16, 10, rng.New(7))
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 6
+		train.Run(fixMLP, fixTrain, fixTest, cfg)
+
+		fixLeNet = models.NewLeNet5(1, 16, 10, rng.New(8))
+		cfg.Epochs = 5
+		train.Run(fixLeNet, fixTrain, fixTest, cfg)
+	})
+	return fixMLP, fixLeNet, fixTrain, fixTest
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if p := pearson(a, a); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("self-correlation = %v", p)
+	}
+	b := []float64{4, 3, 2, 1}
+	if p := pearson(a, b); math.Abs(p+1) > 1e-12 {
+		t.Fatalf("anti-correlation = %v", p)
+	}
+	c := []float64{5, 5, 5, 5}
+	if p := pearson(a, c); p != 0 {
+		t.Fatalf("constant vector correlation = %v", p)
+	}
+}
+
+func TestFoldBatchNormRemovesBN(t *testing.T) {
+	r := rng.New(3)
+	net := nn.NewNetwork("bn-net",
+		nn.NewConv2D("c", 1, 4, 3, 3, 1, 1, 1, r),
+		nn.NewBatchNorm2D("bn", 4),
+		nn.NewReLU("relu"),
+	)
+	// Push some batches through so BN has non-trivial running stats.
+	for i := 0; i < 20; i++ {
+		x := tensor.New(4, 1, 8, 8)
+		for j := range x.Data() {
+			x.Data()[j] = r.NormFloat64()*2 + 1
+		}
+		net.Forward(x, true)
+	}
+	folded := FoldBatchNorm(net)
+	for _, l := range folded.Layers() {
+		if _, ok := l.(*nn.BatchNorm2D); ok {
+			t.Fatal("BN layer survived folding")
+		}
+	}
+	// Folded network must match original inference outputs.
+	x := tensor.New(2, 1, 8, 8)
+	for j := range x.Data() {
+		x.Data()[j] = r.NormFloat64()
+	}
+	want := net.Forward(x, false)
+	got := folded.Forward(x, false)
+	for i := range want.Data() {
+		if math.Abs(want.Data()[i]-got.Data()[i]) > 1e-9 {
+			t.Fatalf("folded output differs at %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestFoldBatchNormDoesNotMutateSource(t *testing.T) {
+	r := rng.New(4)
+	net := nn.NewNetwork("bn-net",
+		nn.NewConv2D("c", 1, 2, 3, 3, 1, 1, 1, r),
+		nn.NewBatchNorm2D("bn", 2),
+	)
+	orig := net.Layers()[0].(*nn.Conv2D).Weight.Value.Clone()
+	FoldBatchNorm(net)
+	now := net.Layers()[0].(*nn.Conv2D).Weight.Value
+	for i := range orig.Data() {
+		if orig.Data()[i] != now.Data()[i] {
+			t.Fatal("FoldBatchNorm mutated the source network")
+		}
+	}
+}
+
+func TestConvertRejectsMaxPool(t *testing.T) {
+	r := rng.New(5)
+	net := nn.NewNetwork("bad",
+		nn.NewConv2D("c", 1, 2, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu"),
+		nn.NewMaxPool2D("mp", 2, 2),
+		nn.NewFlatten("f"),
+		nn.NewLinear("fc", 2*8*8, 10, r),
+	)
+	d := dataset.Generate(dataset.MNISTLike, 10, 1)
+	if _, err := Convert(net, d, DefaultConfig()); err == nil {
+		t.Fatal("max pooling must be rejected")
+	} else if !strings.Contains(err.Error(), "max pooling") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestConvertRequiresLinearReadout(t *testing.T) {
+	r := rng.New(6)
+	net := nn.NewNetwork("bad",
+		nn.NewLinear("fc", 4, 2, r),
+		nn.NewReLU("relu"),
+	)
+	d := dataset.Generate(dataset.MNISTLike, 4, 1)
+	if _, err := Convert(net, d, DefaultConfig()); err == nil {
+		t.Fatal("network ending in ReLU must be rejected")
+	}
+}
+
+func TestConvertedMLPAccuracy(t *testing.T) {
+	mlp, _, tr, te := fixtures(t)
+	annAcc := train.Evaluate(mlp, te, 32)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := conv.Evaluate(te, 120, 60, 99)
+	if res.Accuracy < annAcc-0.20 {
+		t.Fatalf("SNN accuracy %.3f too far below ANN %.3f", res.Accuracy, annAcc)
+	}
+	if res.MeanInputRate <= 0 || res.MeanInputRate > 1 {
+		t.Fatalf("input rate %v", res.MeanInputRate)
+	}
+}
+
+func TestMoreTimestepsHelp(t *testing.T) {
+	// Core premise of the paper's hybrid study: accuracy improves (or at
+	// worst saturates) with longer evidence-integration windows.
+	mlp, _, tr, te := fixtures(t)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := conv.Evaluate(te, 5, 80, 7).Accuracy
+	long := conv.Evaluate(te, 150, 80, 7).Accuracy
+	if long < short-0.05 {
+		t.Fatalf("accuracy degraded with longer window: T=5 %.3f vs T=150 %.3f", short, long)
+	}
+}
+
+func TestConvertedLeNetRunsAndSpikes(t *testing.T) {
+	_, lenet, tr, te := fixtures(t)
+	conv, err := Convert(lenet, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := conv.Evaluate(te, 60, 20, 3)
+	if res.Accuracy < 0.3 {
+		t.Fatalf("converted LeNet accuracy %.3f", res.Accuracy)
+	}
+	// Activity must be recorded for conv, pool and dense stages.
+	if len(res.MeanActivity) < 4 {
+		t.Fatalf("activity for %d stages only", len(res.MeanActivity))
+	}
+	for i, a := range res.MeanActivity[:len(res.MeanActivity)-1] {
+		if a < 0 || a > 1 {
+			t.Fatalf("stage %d activity %v out of [0,1]", i, a)
+		}
+	}
+}
+
+func TestCorrelationHighForMLP(t *testing.T) {
+	mlp, _, tr, te := fixtures(t)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr := conv.Correlation(te, 200, 10, 5)
+	if len(corr) != 2 { // two hidden stages (fc1, fc2); output not included
+		t.Fatalf("correlation entries: %d", len(corr))
+	}
+	for s, c := range corr {
+		if c < 0.5 {
+			t.Fatalf("stage %d ANN/SNN correlation %.3f too low", s, c)
+		}
+	}
+}
+
+func TestCorrelationImprovesWithTimesteps(t *testing.T) {
+	// Fig. 10: longer windows give higher ANN/SNN correlation.
+	mlp, _, tr, te := fixtures(t)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := conv.Correlation(te, 10, 8, 5)
+	long := conv.Correlation(te, 300, 8, 5)
+	last := len(short) - 1
+	if long[last] < short[last]-0.02 {
+		t.Fatalf("deep-layer correlation did not improve: T=10 %.3f vs T=300 %.3f", short[last], long[last])
+	}
+}
+
+func TestLambdaPositive(t *testing.T) {
+	mlp, _, tr, _ := fixtures(t)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, l := range conv.Lambda {
+		if l <= 0 {
+			t.Fatalf("lambda[%d] = %v", s, l)
+		}
+	}
+}
+
+func TestLeakyConversionDegradesGracefully(t *testing.T) {
+	// Leaky IF dynamics lose some accuracy vs pure IF (charge decays
+	// between spikes) but inference must still work.
+	mlp, _, tr, te := fixtures(t)
+	cfg := DefaultConfig()
+	pure, err := Convert(mlp, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Leak = 0.95
+	cfg.Refractory = 1
+	leaky, err := Convert(mlp, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pureAcc := pure.Evaluate(te, 120, 60, 5).Accuracy
+	leakyAcc := leaky.Evaluate(te, 120, 60, 5).Accuracy
+	if leakyAcc < 0.3 {
+		t.Fatalf("leaky network collapsed: %v", leakyAcc)
+	}
+	if leakyAcc > pureAcc+0.1 {
+		t.Fatalf("leak should not help: pure %v leaky %v", pureAcc, leakyAcc)
+	}
+}

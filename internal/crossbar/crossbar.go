@@ -1,0 +1,232 @@
+// Package crossbar models the "All-Spin" neuromorphic crossbar array of
+// Fig. 3: DW-MTJ synapses at the junctions perform a parallel analog
+// dot-product by Kirchhoff current summation along the source lines, and
+// the summed currents drive DW-MTJ neurons directly (no current-to-voltage
+// conversion, §II-C).
+//
+// Signed weights are realized as differential device pairs (G⁺ − G⁻), so
+// the anti-parallel baseline conductance cancels between the two columns.
+// The model includes the two dominant analog non-idealities the paper's
+// design section discusses: source-line IR drop (which grows with the
+// number of simultaneously active rows) and read-current noise.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Stats accumulates activity statistics used by the energy model.
+type Stats struct {
+	// MACs counts crossbar evaluations (one per Step over all columns).
+	MACs int64
+	// ActiveRowSum accumulates the number of driven rows per evaluation.
+	ActiveRowSum int64
+	// OutputCurrentUA accumulates |I| over columns and evaluations.
+	OutputCurrentUA float64
+	// ProgramEnergyFJ is the total synapse programming energy.
+	ProgramEnergyFJ float64
+}
+
+// Config holds the crossbar's analog non-ideality knobs.
+type Config struct {
+	// IRDropAlpha scales the source-line voltage droop: each row's
+	// effective drive is multiplied by 1/(1 + IRDropAlpha·activeFrac).
+	// Zero disables the effect.
+	IRDropAlpha float64
+	// ReadNoiseSigma is the relative standard deviation of multiplicative
+	// read noise on column currents. Zero disables noise.
+	ReadNoiseSigma float64
+	// ProgramVariationLevels is the standard deviation, in device levels,
+	// of programming error: each synapse lands within a few pinning sites
+	// of its target (device mismatch, §IV-D). Zero disables it.
+	ProgramVariationLevels float64
+}
+
+// Crossbar is an R×C array of differential DW-MTJ synapse pairs.
+type Crossbar struct {
+	Rows, Cols int
+	P          device.Params
+	Cfg        Config
+
+	// levelPlus/levelMinus hold the programmed device levels.
+	levelPlus, levelMinus []int
+	// wmax maps level States-1 to weight magnitude wmax.
+	wmax  float64
+	stats Stats
+	noise *rng.Rand
+}
+
+// New allocates an unprogrammed crossbar.
+func New(rows, cols int, p device.Params, cfg Config, noise *rng.Rand) *Crossbar {
+	return &Crossbar{
+		Rows: rows, Cols: cols, P: p, Cfg: cfg,
+		levelPlus:  make([]int, rows*cols),
+		levelMinus: make([]int, rows*cols),
+		noise:      noise,
+	}
+}
+
+// Program loads a rows×cols weight matrix. Weights are clipped to ±wmax
+// and quantized to the device's discrete levels; positive weights program
+// the plus device, negative the minus device. Programming energy is
+// accounted per level step moved.
+func (c *Crossbar) Program(w *tensor.Tensor, wmax float64) error {
+	if w.NDim() != 2 || w.Dim(0) != c.Rows || w.Dim(1) != c.Cols {
+		return fmt.Errorf("crossbar: weights %v do not fit %d×%d array", w.Shape(), c.Rows, c.Cols)
+	}
+	if wmax <= 0 {
+		return fmt.Errorf("crossbar: wmax must be positive")
+	}
+	c.wmax = wmax
+	states := c.P.States()
+	stepEnergy := c.P.WriteEnergyFJ / float64(states-1)
+	wd := w.Data()
+	for i, v := range wd {
+		mag := math.Abs(v)
+		if mag > wmax {
+			mag = wmax
+		}
+		level := int(math.Round(mag / wmax * float64(states-1)))
+		if c.Cfg.ProgramVariationLevels > 0 && c.noise != nil {
+			level += int(math.Round(c.Cfg.ProgramVariationLevels * c.noise.NormFloat64()))
+			if level < 0 {
+				level = 0
+			}
+			if level > states-1 {
+				level = states - 1
+			}
+		}
+		var plus, minus int
+		if v >= 0 {
+			plus = level
+		} else {
+			minus = level
+		}
+		c.stats.ProgramEnergyFJ += math.Abs(float64(plus-c.levelPlus[i])) * stepEnergy
+		c.stats.ProgramEnergyFJ += math.Abs(float64(minus-c.levelMinus[i])) * stepEnergy
+		c.levelPlus[i] = plus
+		c.levelMinus[i] = minus
+	}
+	return nil
+}
+
+// EffectiveWeight returns the programmed (quantized) weight at (row, col).
+func (c *Crossbar) EffectiveWeight(row, col int) float64 {
+	states := c.P.States()
+	i := row*c.Cols + col
+	return float64(c.levelPlus[i]-c.levelMinus[i]) / float64(states-1) * c.wmax
+}
+
+// MAC drives the rows with input levels in [0, 1] (bit-line voltage as a
+// fraction of VRead) and returns the per-column dot products in weight
+// units, as thresholded by the neuron units. Column read currents are
+// derived from the device conductances, so quantization, IR drop and read
+// noise all act on the result.
+func (c *Crossbar) MAC(input []float64) ([]float64, error) {
+	if len(input) != c.Rows {
+		return nil, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
+	}
+	active := 0
+	for _, v := range input {
+		if v != 0 {
+			active++
+		}
+	}
+	atten := 1.0
+	if c.Cfg.IRDropAlpha > 0 && c.Rows > 0 {
+		atten = 1 / (1 + c.Cfg.IRDropAlpha*float64(active)/float64(c.Rows))
+	}
+	states := c.P.States()
+	deltaG := (c.P.GParallelUS - c.P.GAntiParallelUS) / float64(states-1) // µS per level
+	out := make([]float64, c.Cols)
+	var currentSum float64
+	for col := 0; col < c.Cols; col++ {
+		// Differential column current: Σ V_i·ΔG·(level⁺−level⁻).
+		var iDiff float64 // in µA
+		for row := 0; row < c.Rows; row++ {
+			v := input[row]
+			if v == 0 {
+				continue
+			}
+			idx := row*c.Cols + col
+			g := float64(c.levelPlus[idx]-c.levelMinus[idx]) * deltaG
+			iDiff += v * atten * c.P.VReadMV * 1e-3 * g // mV·µS → µA·1e-3... see scale below
+		}
+		// Scale: (V in volts)·(G in µS) = µA.
+		if c.Cfg.ReadNoiseSigma > 0 && c.noise != nil {
+			iDiff *= 1 + c.Cfg.ReadNoiseSigma*c.noise.NormFloat64()
+		}
+		currentSum += math.Abs(iDiff)
+		// Convert current back to weight units: a full-scale weight wmax
+		// at input 1.0 produces V·(States−1)·ΔG.
+		fullScale := c.P.VReadMV * 1e-3 * float64(states-1) * deltaG
+		out[col] = iDiff / fullScale * c.wmax
+	}
+	c.stats.MACs++
+	c.stats.ActiveRowSum += int64(active)
+	c.stats.OutputCurrentUA += currentSum
+	return out, nil
+}
+
+// Stats returns a copy of the accumulated activity counters.
+func (c *Crossbar) Stats() Stats { return c.stats }
+
+// ResetStats clears the activity counters (not the programmed weights).
+func (c *Crossbar) ResetStats() { c.stats = Stats{} }
+
+// Utilization returns the fraction of synapses with a non-zero programmed
+// level, the quantity behind the paper's morphable-tile motivation.
+func (c *Crossbar) Utilization() float64 {
+	used := 0
+	for i := range c.levelPlus {
+		if c.levelPlus[i] != 0 || c.levelMinus[i] != 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(len(c.levelPlus))
+}
+
+// FaultMode selects the stuck state of an injected device fault.
+type FaultMode int
+
+// Fault modes: a stuck-AP device reads as minimum conductance (weight
+// contribution 0 after differential cancellation), a stuck-P device as
+// maximum.
+const (
+	StuckAP FaultMode = iota
+	StuckP
+)
+
+// InjectStuckFaults forces a random fraction of synapse devices into a
+// stuck conductance state, modelling fabrication defects and endurance
+// failures. Both devices of a differential pair are candidates
+// independently. It returns the number of devices faulted. Subsequent
+// Program calls overwrite faults (call again after reprogramming to model
+// permanent defects).
+func (c *Crossbar) InjectStuckFaults(r *rng.Rand, fraction float64, mode FaultMode) int {
+	if r == nil || fraction <= 0 {
+		return 0
+	}
+	states := c.P.States()
+	stuck := 0
+	if mode == StuckP {
+		stuck = states - 1
+	}
+	n := 0
+	for i := range c.levelPlus {
+		if r.Bernoulli(fraction) {
+			c.levelPlus[i] = stuck
+			n++
+		}
+		if r.Bernoulli(fraction) {
+			c.levelMinus[i] = stuck
+			n++
+		}
+	}
+	return n
+}

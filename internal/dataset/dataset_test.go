@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	d := Generate(CIFAR10Like, 50, 1)
+	if d.Len() != 50 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	s := d.Images.Shape()
+	if s[0] != 50 || s[1] != 3 || s[2] != 16 || s[3] != 16 {
+		t.Fatalf("shape = %v", s)
+	}
+	for _, v := range d.Images.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(MNISTLike, 20, 7)
+	b := Generate(MNISTLike, 20, 7)
+	for i, v := range a.Images.Data() {
+		if b.Images.Data()[i] != v {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := Generate(MNISTLike, 20, 1)
+	b := Generate(MNISTLike, 20, 2)
+	same := true
+	for i, v := range a.Images.Data() {
+		if b.Images.Data()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestLabelsBalanced(t *testing.T) {
+	d := Generate(CIFAR10Like, 100, 3)
+	counts := make(map[int]int)
+	for _, l := range d.Labels {
+		if l < 0 || l >= d.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Mean within-class distance must be clearly below mean between-class
+	// distance, otherwise no model could learn the task.
+	d := Generate(CIFAR10Like, 200, 5)
+	sz := d.Images.Dim(1) * d.Images.Dim(2) * d.Images.Dim(3)
+	dist := func(i, j int) float64 {
+		a := d.Images.Data()[i*sz : (i+1)*sz]
+		b := d.Images.Data()[j*sz : (j+1)*sz]
+		s := 0.0
+		for k := range a {
+			diff := a[k] - b[k]
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+	var within, between float64
+	var nw, nb int
+	for i := 0; i < 100; i++ {
+		for j := i + 1; j < 100; j++ {
+			if d.Labels[i] == d.Labels[j] {
+				within += dist(i, j)
+				nw++
+			} else {
+				between += dist(i, j)
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if within >= between {
+		t.Fatalf("classes not separable: within=%v between=%v", within, between)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d := Generate(MNISTLike, 30, 9)
+	x, y := d.Batch(10, 5)
+	if x.Dim(0) != 5 || len(y) != 5 {
+		t.Fatalf("batch shapes: %v, %d labels", x.Shape(), len(y))
+	}
+	// Batch copies: mutating the batch must not change the dataset.
+	orig := d.Images.Slice4D(10).Data()[0]
+	x.Data()[0] = -99
+	if d.Images.Slice4D(10).Data()[0] != orig {
+		t.Fatal("Batch must copy")
+	}
+}
+
+func TestBatchOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(MNISTLike, 10, 1).Batch(8, 5)
+}
+
+func TestShufflePreservesPairs(t *testing.T) {
+	d := Generate(MNISTLike, 40, 11)
+	// Fingerprint each image by sum, keyed to its label.
+	type pair struct {
+		label int
+		sum   float64
+	}
+	fingerprint := func(d *Dataset) map[pair]int {
+		m := make(map[pair]int)
+		for i := 0; i < d.Len(); i++ {
+			img, l := d.Sample(i)
+			m[pair{l, img.Sum()}]++
+		}
+		return m
+	}
+	before := fingerprint(d)
+	d.Shuffle(rng.New(99))
+	after := fingerprint(d)
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed fingerprint count")
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Fatal("shuffle broke image/label pairing")
+		}
+	}
+}
+
+func TestTrainTestDisjoint(t *testing.T) {
+	tr, te := TrainTest(MNISTLike, 20, 20, 1)
+	// Different seeds ⇒ pixel data differs.
+	same := true
+	for i, v := range tr.Images.Data() {
+		if te.Images.Data()[i] != v {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("train and test splits are identical")
+	}
+}
+
+func TestAllSpecsGenerate(t *testing.T) {
+	for _, spec := range []Spec{MNISTLike, SVHNLike, CIFAR10Like, CIFAR100Like, ImageNetLike} {
+		d := Generate(spec, spec.Classes*2, 13)
+		if d.Len() != spec.Classes*2 {
+			t.Fatalf("%s: len %d", spec.Name, d.Len())
+		}
+		if d.Classes != spec.Classes {
+			t.Fatalf("%s: classes %d", spec.Name, d.Classes)
+		}
+	}
+}

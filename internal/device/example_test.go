@@ -1,0 +1,40 @@
+package device_test
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+)
+
+// Program a synapse to a mid-range level and read its conductance.
+func ExampleSynapse() {
+	s := device.NewSynapse(device.DefaultParams())
+	if err := s.SetLevel(8); err != nil {
+		panic(err)
+	}
+	fmt.Printf("level %d, conductance %.0f µS, read current %.1f µA\n",
+		s.Level(), s.Conductance(), s.ReadCurrent())
+	// Output: level 8, conductance 40 µS, read current 4.0 µA
+}
+
+// Integrate-and-fire behaviour of the spiking neuron device: constant
+// suprathreshold current fires periodically, the wall self-resets.
+func ExampleSpikingNeuron() {
+	p := device.DefaultParams()
+	n := device.NewSpikingNeuron(p)
+	fires := 0
+	for i := 0; i < 45; i++ {
+		if n.Integrate(6, p.PulseNS) {
+			fires++
+		}
+	}
+	fmt.Printf("fired %d times in 45 cycles\n", fires)
+	// Output: fired 3 times in 45 cycles
+}
+
+// The non-spiking neuron realizes a saturating rectification.
+func ExampleNonSpikingNeuron() {
+	n := device.NewNonSpikingNeuron(device.DefaultParams())
+	fmt.Printf("%.0f %.2f %.0f\n", n.Transfer(-5), n.Transfer(31.09), n.Transfer(1e4))
+	// Output: 0 0.50 1
+}

@@ -1,0 +1,80 @@
+package device
+
+import (
+	"fmt"
+	"io"
+)
+
+// Technology summarizes the programming characteristics of a synaptic
+// device technology, for the §II-B2 comparison: DW-MTJ devices program at
+// ~100 mV and ~100 fJ, versus few-volt, picojoule-class writes for phase
+// change (PCM) and resistive (RRAM) memories, with far better endurance.
+type Technology struct {
+	Name string
+	// ProgramVoltageV is the typical programming voltage.
+	ProgramVoltageV float64
+	// ProgramEnergyJ is the typical per-device write energy.
+	ProgramEnergyJ float64
+	// EnduranceCycles is the order-of-magnitude write endurance.
+	EnduranceCycles float64
+	// States is the demonstrated number of resistive levels.
+	States int
+	// CurrentDriven reports whether the device integrates current
+	// natively (can be driven by crossbar source-line current without a
+	// current-to-voltage converter, §II-C).
+	CurrentDriven bool
+}
+
+// Technologies returns the comparison table used in §II-B2: values follow
+// the references the paper cites ([36], [38], [44], [50], [35]).
+func Technologies() []Technology {
+	return []Technology{
+		{
+			Name:            "DW-MTJ (this work)",
+			ProgramVoltageV: 0.1,
+			ProgramEnergyJ:  100e-15,
+			EnduranceCycles: 1e15,
+			States:          16,
+			CurrentDriven:   true,
+		},
+		{
+			Name:            "PCM",
+			ProgramVoltageV: 3.0,
+			ProgramEnergyJ:  10e-12,
+			EnduranceCycles: 1e8,
+			States:          16,
+			CurrentDriven:   false,
+		},
+		{
+			Name:            "RRAM",
+			ProgramVoltageV: 2.0,
+			ProgramEnergyJ:  2e-12,
+			EnduranceCycles: 1e6,
+			States:          32,
+			CurrentDriven:   false,
+		},
+	}
+}
+
+// MTJAdvantage returns the DW-MTJ's programming-energy advantage over the
+// named competing technology.
+func MTJAdvantage(competitor string) (float64, error) {
+	techs := Technologies()
+	mtj := techs[0]
+	for _, t := range techs[1:] {
+		if t.Name == competitor {
+			return t.ProgramEnergyJ / mtj.ProgramEnergyJ, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown technology %q", competitor)
+}
+
+// RenderTechnologies writes the §II-B2 comparison as a table.
+func RenderTechnologies(w io.Writer) {
+	fmt.Fprintln(w, "synaptic device technologies (§II-B2)")
+	fmt.Fprintln(w, "  technology           Vprog    Ewrite     endurance  states  current-driven")
+	for _, t := range Technologies() {
+		fmt.Fprintf(w, "  %-20s %4.1f V  %8.0f fJ  %8.0e  %4d    %v\n",
+			t.Name, t.ProgramVoltageV, t.ProgramEnergyJ*1e15, t.EnduranceCycles, t.States, t.CurrentDriven)
+	}
+}

@@ -1,0 +1,44 @@
+package energy
+
+import "repro/internal/mapping"
+
+// AreaReport accounts the silicon area a mapped workload occupies, per
+// the Table III area figures — the deployment-footprint counterpart of
+// the energy reports.
+type AreaReport struct {
+	// CoresUsed is the number of neural cores the mapping provisions.
+	CoresUsed int
+	// CoreAreaMM2 is the silicon area of those cores.
+	CoreAreaMM2 float64
+	// SynapseAreaMM2 is the crossbar portion alone.
+	SynapseAreaMM2 float64
+	// ChipFraction is CoreAreaMM2 / total chip area.
+	ChipFraction float64
+	// FitsChip reports whether the mode's core partition can host the
+	// workload (Table III: 14 ANN cores, 182 SNN cores).
+	FitsChip bool
+}
+
+// AreaANN reports the footprint of a workload in ANN mode.
+func (m *Model) AreaANN(np mapping.NetworkPlacement) AreaReport {
+	return m.area(np, m.S.ANNCoreAreaMM2(), m.S.ANNCrossbarAreaMM2, m.S.ANNCoreCount())
+}
+
+// AreaSNN reports the footprint of a workload in SNN mode.
+func (m *Model) AreaSNN(np mapping.NetworkPlacement) AreaReport {
+	return m.area(np, m.S.SNNCoreAreaMM2(), m.S.SNNCrossbarAreaMM2, m.S.SNNCoreCount())
+}
+
+func (m *Model) area(np mapping.NetworkPlacement, coreArea, xbarArea float64, partition int) AreaReport {
+	cores := np.TotalNCs()
+	r := AreaReport{
+		CoresUsed:      cores,
+		CoreAreaMM2:    float64(cores) * coreArea,
+		SynapseAreaMM2: float64(cores) * xbarArea,
+		FitsChip:       cores <= partition,
+	}
+	if total := m.S.ChipAreaMM2(); total > 0 {
+		r.ChipFraction = r.CoreAreaMM2 / total
+	}
+	return r
+}

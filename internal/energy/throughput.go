@@ -1,0 +1,39 @@
+package energy
+
+import (
+	"repro/internal/mapping"
+)
+
+// Throughput summarizes accelerator-level efficiency metrics for a
+// workload in one operating mode — the figures of merit (inferences/s,
+// GOPS, TOPS/W) customary for accelerator comparisons.
+type Throughput struct {
+	// InferencesPerSec assumes back-to-back pipelined inference.
+	InferencesPerSec float64
+	// GOPS counts two operations per MAC.
+	GOPS float64
+	// TOPSPerWatt is GOPS/1000 divided by average power.
+	TOPSPerWatt float64
+	// EnergyPerInferenceJ repeats the report total for convenience.
+	EnergyPerInferenceJ float64
+}
+
+// ThroughputOf derives throughput metrics from a network report. For SNN
+// mode pass the integration window T (operations repeat every timestep);
+// use T = 1 for ANN mode.
+func ThroughputOf(np mapping.NetworkPlacement, r NetworkReport, T int) Throughput {
+	if T < 1 {
+		T = 1
+	}
+	var t Throughput
+	if r.TimeS > 0 {
+		t.InferencesPerSec = 1 / r.TimeS
+		ops := 2 * float64(np.Workload.TotalMACs()) * float64(T)
+		t.GOPS = ops / r.TimeS / 1e9
+	}
+	if r.AvgPowerW > 0 {
+		t.TOPSPerWatt = t.GOPS / 1e3 / r.AvgPowerW
+	}
+	t.EnergyPerInferenceJ = r.EnergyJ
+	return t
+}

@@ -1,0 +1,131 @@
+package event
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/train"
+)
+
+var (
+	once sync.Once
+	fixC *convert.Converted
+	fixD *dataset.Dataset
+)
+
+func fixture(t *testing.T) (*convert.Converted, *dataset.Dataset) {
+	t.Helper()
+	once.Do(func() {
+		tr, te := dataset.TrainTest(dataset.MNISTLike, 300, 80, 41)
+		fixD = te
+		net := models.NewMLP3(1, 16, 10, rng.New(9))
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 5
+		train.Run(net, tr, te, cfg)
+		var err error
+		fixC, err = convert.Convert(net, tr, convert.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fixC, fixD
+}
+
+func TestEventEngineMatchesDenseSimulator(t *testing.T) {
+	// Same encoder seed ⇒ identical output potentials.
+	c, d := fixture(t)
+	eng, err := FromConverted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 80
+	for i := 0; i < 10; i++ {
+		img, _ := d.Sample(i)
+		seed := uint64(100 + i)
+		evRes := eng.Run(img, T, snn.NewPoissonEncoder(1.0, rng.New(seed)))
+		denseRes := c.SNN.Run(img, T, snn.NewPoissonEncoder(1.0, rng.New(seed)))
+		for k := range evRes.Output.Data() {
+			a, b := evRes.Output.Data()[k], denseRes.Output.Data()[k]
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("image %d class %d: event %v vs dense %v", i, k, a, b)
+			}
+		}
+		if evRes.Predict() != denseRes.Predict() {
+			t.Fatalf("image %d: predictions differ", i)
+		}
+	}
+}
+
+func TestEventEngineSkipsWork(t *testing.T) {
+	// The point of event-driven execution: synaptic ops well below the
+	// dense count at realistic spike rates.
+	c, d := fixture(t)
+	eng, err := FromConverted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := d.Sample(0)
+	res := eng.Run(img, 100, snn.NewPoissonEncoder(1.0, rng.New(3)))
+	if res.SynOps >= res.DenseOps {
+		t.Fatalf("event engine did more work than dense: %d vs %d", res.SynOps, res.DenseOps)
+	}
+	if s := res.Sparsity(); s < 0.3 {
+		t.Fatalf("sparsity %v suspiciously low for rate-coded input", s)
+	}
+	if res.Events <= 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestEventWorkScalesWithInputBrightness(t *testing.T) {
+	c, d := fixture(t)
+	eng, err := FromConverted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, _ := d.Sample(0)
+	dim := img.Clone()
+	dim.ScaleInPlace(0.2)
+	bright := eng.Run(img, 60, snn.NewPoissonEncoder(1.0, rng.New(5)))
+	faint := eng.Run(dim, 60, snn.NewPoissonEncoder(1.0, rng.New(5)))
+	if faint.SynOps >= bright.SynOps {
+		t.Fatalf("dimmer input should cost less: %d vs %d", faint.SynOps, bright.SynOps)
+	}
+}
+
+func TestFromConvertedRejectsConvNets(t *testing.T) {
+	tr, _ := dataset.TrainTest(dataset.MNISTLike, 50, 20, 1)
+	net := models.NewLeNet5(1, 16, 10, rng.New(1))
+	c, err := convert.Convert(net, tr, convert.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromConverted(c); err == nil {
+		t.Fatal("conv topology accepted by the dense-only event engine")
+	}
+}
+
+func TestEventAccuracyMatchesDense(t *testing.T) {
+	c, d := fixture(t)
+	eng, err := FromConverted(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, T = 40, 80
+	correct := 0
+	for i := 0; i < n; i++ {
+		img, label := d.Sample(i)
+		if eng.Run(img, T, snn.NewPoissonEncoder(1.0, rng.New(uint64(i)))).Predict() == label {
+			correct++
+		}
+	}
+	if float64(correct)/n < 0.6 {
+		t.Fatalf("event-engine accuracy %v", float64(correct)/n)
+	}
+}

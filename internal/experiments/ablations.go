@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/isaac"
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+// AblationResult is a generic named-ratio study.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// AblationRow is one variant's outcome.
+type AblationRow struct {
+	Name   string
+	Value  float64
+	Detail string
+}
+
+// Render writes the study.
+func (r AblationResult) Render(w io.Writer) {
+	fmt.Fprintln(w, r.Title)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-34s %10.4g  %s\n", row.Name, row.Value, row.Detail)
+	}
+}
+
+// AblationNUHierarchy quantifies the value of current-domain aggregation:
+// VGG-13 energy with the NU hierarchy versus a variant where every
+// crossbar boundary is digitized ISAAC-style (every layer forced onto the
+// ADC path).
+func AblationNUHierarchy() AblationResult {
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	baseline := em.ANNNetwork(np).EnergyJ
+
+	// Force the ADC path: every multi-AC layer digitizes per-AC partial
+	// sums (conversions = kernels × stack), paying the reduction stages.
+	forced := np
+	forced.Placements = append([]mapping.Placement(nil), np.Placements...)
+	for i := range forced.Placements {
+		p := &forced.Placements[i]
+		if p.ACsUsed == 0 || p.StackHeight <= 1 {
+			continue
+		}
+		p.Level = mapping.LevelADC
+		p.ADCConversionsPerEval = p.Layer.Kernels() * p.StackHeight
+	}
+	noHierarchy := em.ANNNetwork(forced).EnergyJ
+
+	return AblationResult{
+		Title: "Ablation — NU-hierarchy current summation vs per-crossbar ADC (VGG-13, ANN mode)",
+		Rows: []AblationRow{
+			{"with NU hierarchy (µJ)", baseline * 1e6, "partial sums aggregated in current domain"},
+			{"per-crossbar ADC (µJ)", noHierarchy * 1e6, "every array boundary digitized"},
+			{"energy ratio", noHierarchy / baseline, "paid for abandoning analog aggregation"},
+		},
+	}
+}
+
+// AblationMorphableTiles compares synapse utilization of the morphable
+// mapping against rigid 128×128 and 256×256 arrays on MobileNet, whose
+// mixed kernel sizes are the design's motivating case (§IV-B2).
+func AblationMorphableTiles() AblationResult {
+	w := models.FullMobileNetV1(10, 500, 91.00, 81.08)
+	morph := mapping.MapWorkload(w).MeanUtilization()
+	util := func(n int) float64 {
+		var used, total float64
+		for _, l := range w.WeightedLayers() {
+			fp := mapping.MapFixed(l, n)
+			cells := float64(fp.ArraysUsed) * float64(n) * float64(n)
+			used += fp.Utilization * cells
+			total += cells
+		}
+		return used / total
+	}
+	return AblationResult{
+		Title: "Ablation — morphable tiles vs fixed arrays (MobileNet-v1 synapse utilization)",
+		Rows: []AblationRow{
+			{"morphable (128..2048 rows)", morph, "stack height follows Rf"},
+			{"fixed 128×128", util(128), ""},
+			{"fixed 256×256", util(256), ""},
+		},
+	}
+}
+
+// AblationMembraneStorage isolates NEBULA's in-device membrane storage:
+// VGG SNN energy as-is versus a variant charged an INXS-style SRAM
+// read/add/write plus digitization per neuron per timestep.
+func AblationMembraneStorage() AblationResult {
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	base := em.SNNNetwork(np, w.Timesteps, act).EnergyJ
+
+	// SRAM membrane penalty: per neuron per timestep, one ADC conversion
+	// plus read + add + write (the INXS cost structure, §III).
+	const perUpdateJ = (2.7 + 2.5 + 0.2 + 3.0) * 1e-12
+	penalty := 0.0
+	for _, l := range w.WeightedLayers() {
+		penalty += float64(l.OutputNeurons()) * float64(w.Timesteps) * perUpdateJ
+	}
+	return AblationResult{
+		Title: "Ablation — in-device membrane storage vs SRAM round-trips (VGG-13, SNN mode)",
+		Rows: []AblationRow{
+			{"domain-wall membranes (µJ)", base * 1e6, "state persists in the neuron device"},
+			{"SRAM membranes (µJ)", (base + penalty) * 1e6, "read+add+write+ADC per neuron per step"},
+			{"energy ratio", (base + penalty) / base, "cost of externalizing membrane state"},
+		},
+	}
+}
+
+// AblationBitSerialInput isolates the multi-level-driver decision (§V-C):
+// NEBULA ANN energy versus a bit-serial variant that feeds 4-bit inputs
+// one bit per cycle (4× the evaluations with 1-bit drivers at roughly a
+// quarter of the DAC power).
+func AblationBitSerialInput() AblationResult {
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	base := em.ANNNetwork(np)
+
+	serial := energy.NewModel()
+	serial.S.ANNDACPowerW /= 4 // 1-bit drivers
+	serialNp := np
+	serialNp.Placements = append([]mapping.Placement(nil), np.Placements...)
+	for i := range serialNp.Placements {
+		serialNp.Placements[i].Evaluations *= 4 // one bit per cycle
+	}
+	bitSerial := serial.ANNNetwork(serialNp)
+
+	return AblationResult{
+		Title: "Ablation — multi-level drivers vs bit-serial input feeding (VGG-13, ANN mode)",
+		Rows: []AblationRow{
+			{"multi-level drivers (µJ)", base.EnergyJ * 1e6, "single evaluation per output"},
+			{"bit-serial 1-bit DACs (µJ)", bitSerial.EnergyJ * 1e6, "4 cycles per evaluation"},
+			{"energy ratio", bitSerial.EnergyJ / base.EnergyJ, "cost of bit-serial feeding"},
+			{"latency ratio", bitSerial.TimeS / base.TimeS, ""},
+		},
+	}
+}
+
+// AblationHybridSplit sweeps the hybrid split point at a fixed window,
+// reporting the energy/power frontier of §V-B.
+func AblationHybridSplit() AblationResult {
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	const T = 150
+	out := AblationResult{Title: "Ablation — hybrid split sweep (VGG-13, T=150)"}
+	for k := 1; k <= 9; k += 2 {
+		h := em.HybridNetwork(np, T, k, act)
+		out.Rows = append(out.Rows, AblationRow{
+			fmt.Sprintf("Hyb-%d energy (µJ)", k), h.EnergyJ * 1e6,
+			fmt.Sprintf("avg power %.2f mW", h.AvgPowerW*1e3),
+		})
+	}
+	return out
+}
+
+// AblationISAACADCScaling shows how the baseline comparison depends on the
+// ISAAC ADC energy assumption, documenting the calibration sensitivity.
+func AblationISAACADCScaling() AblationResult {
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	ann := em.ANNNetwork(np).EnergyJ
+	out := AblationResult{Title: "Ablation — ISAAC/NEBULA ratio vs ISAAC ADC energy assumption (VGG-13)"}
+	for _, pj := range []float64{1, 2, 3, 5, 8} {
+		im := isaac.NewModel()
+		im.P.ADCEnergyPerConvJ = pj * 1e-12
+		out.Rows = append(out.Rows, AblationRow{
+			fmt.Sprintf("ADC %.0f pJ/conv", pj),
+			im.NetworkTotal(w) / ann,
+			"ISAAC energy ÷ NEBULA-ANN energy",
+		})
+	}
+	return out
+}

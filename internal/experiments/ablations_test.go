@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationNUHierarchy(t *testing.T) {
+	r := AblationNUHierarchy()
+	ratio := r.Rows[2].Value
+	if ratio <= 1 {
+		t.Fatalf("per-crossbar ADC must cost more: ratio %v", ratio)
+	}
+	if ratio > 20 {
+		t.Fatalf("implausible ablation ratio %v", ratio)
+	}
+}
+
+func TestAblationMorphableTiles(t *testing.T) {
+	r := AblationMorphableTiles()
+	morph, fixed128, fixed256 := r.Rows[0].Value, r.Rows[1].Value, r.Rows[2].Value
+	if morph <= fixed256 {
+		t.Fatalf("morphable utilization %v not above fixed-256 %v", morph, fixed256)
+	}
+	if morph < fixed128-1e-9 {
+		t.Fatalf("morphable utilization %v below fixed-128 %v", morph, fixed128)
+	}
+}
+
+func TestAblationMembraneStorage(t *testing.T) {
+	r := AblationMembraneStorage()
+	if ratio := r.Rows[2].Value; ratio <= 1.05 {
+		t.Fatalf("SRAM membranes should cost visibly more: ratio %v", ratio)
+	}
+}
+
+func TestAblationBitSerial(t *testing.T) {
+	r := AblationBitSerialInput()
+	if eRatio := r.Rows[2].Value; eRatio <= 1 {
+		t.Fatalf("bit-serial should cost more energy: %v", eRatio)
+	}
+	if lRatio := r.Rows[3].Value; lRatio < 3.9 {
+		t.Fatalf("bit-serial latency should be ≈4×: %v", lRatio)
+	}
+}
+
+func TestAblationHybridSplitMonotoneEnergy(t *testing.T) {
+	r := AblationHybridSplit()
+	// At a fixed window, moving most of the network to the ANN side
+	// reduces total energy (SNN evaluations dominate); individual steps
+	// can wiggle when a moved layer is cheap in SNN mode but pays the
+	// ANN ADC path.
+	first, last := r.Rows[0].Value, r.Rows[len(r.Rows)-1].Value
+	if last >= first {
+		t.Fatalf("deep split energy %v not below shallow %v", last, first)
+	}
+	for _, row := range r.Rows {
+		if row.Value <= 0 {
+			t.Fatalf("non-positive energy at %s", row.Name)
+		}
+	}
+}
+
+func TestAblationISAACADCScalingMonotone(t *testing.T) {
+	r := AblationISAACADCScaling()
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Value <= r.Rows[i-1].Value {
+			t.Fatal("ratio must grow with assumed ADC energy")
+		}
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	var b bytes.Buffer
+	AblationNUHierarchy().Render(&b)
+	if !strings.Contains(b.String(), "NU-hierarchy") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSensitivitySNNvsANN(t *testing.T) {
+	r := SensitivitySNNvsANN()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Low <= 0 || row.High <= 0 || row.Baseline <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if row.Span < 1 {
+			t.Fatalf("span below 1: %+v", row)
+		}
+		// Even at extreme knob settings the SNN stays more energy-hungry
+		// than the ANN — the headline survives the assumptions.
+		if row.Low < 1 || row.High < 1 {
+			t.Fatalf("headline inverted under %s: %+v", row.Knob, row)
+		}
+	}
+	// Input activity must be among the most influential knobs.
+	var actSpan, maxSpan float64
+	for _, row := range r.Rows {
+		if row.Knob == "InputActivity" {
+			actSpan = row.Span
+		}
+		if row.Span > maxSpan {
+			maxSpan = row.Span
+		}
+	}
+	if actSpan < 1.1 {
+		t.Fatalf("activity knob has no leverage: %v", actSpan)
+	}
+	_ = maxSpan
+}
+
+func TestSensitivityBaselines(t *testing.T) {
+	r := SensitivityBaselines()
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Doubling a baseline cost must increase its ratio.
+		if row.High <= row.Low {
+			t.Fatalf("%s not monotone: %+v", row.Knob, row)
+		}
+		// Baselines stay worse than NEBULA across the swept range.
+		if row.Low <= 1 {
+			t.Fatalf("%s inverts at 0.5×: %+v", row.Knob, row)
+		}
+	}
+	var b bytes.Buffer
+	r.Render(&b)
+	if !strings.Contains(b.String(), "Sensitivity") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFaultResilienceCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model and runs chip inference")
+	}
+	r := FaultResilience(16, 50)
+	if len(r.Points) != 6 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	clean := r.Points[0]
+	worst := r.Points[len(r.Points)-1]
+	if clean.FaultRate != 0 || clean.Accuracy < 0.6 {
+		t.Fatalf("clean point %+v", clean)
+	}
+	// Graceful degradation: the 20%-fault point loses accuracy but stays
+	// well above chance (0.1 for 10 classes).
+	if worst.Accuracy > clean.Accuracy {
+		t.Fatalf("faults should not improve accuracy: %+v", r.Points)
+	}
+	if worst.Accuracy < 0.3 {
+		t.Fatalf("accuracy collapsed at 20%% faults: %v", worst.Accuracy)
+	}
+}

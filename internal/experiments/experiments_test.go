@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1DeviceCharacteristic(t *testing.T) {
+	r := Fig1DeviceCharacteristic()
+	if len(r.Points) != 49 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	var b bytes.Buffer
+	r.Render(&b)
+	if !strings.Contains(b.String(), "Fig. 1(b)") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig12Shapes(t *testing.T) {
+	r := Fig12ISAACLayerwise()
+	if len(r.Series) != 2 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	alex, mobile := r.Series[0], r.Series[1]
+	if alex.Model != "alexnet" || mobile.Model != "mobilenet-cifar10" {
+		t.Fatalf("wrong models: %s, %s", alex.Model, mobile.Model)
+	}
+	// Paper: AlexNet ≈2.8×, MobileNet ≈7.9×, every layer favors NEBULA.
+	if alex.Mean < 1.5 || alex.Mean > 6 {
+		t.Fatalf("AlexNet mean %v", alex.Mean)
+	}
+	if mobile.Mean < 5 || mobile.Mean > 14 {
+		t.Fatalf("MobileNet mean %v", mobile.Mean)
+	}
+	for _, s := range r.Series {
+		for i, ratio := range s.Ratio {
+			if ratio <= 1 {
+				t.Fatalf("%s layer %s: ISAAC ratio %v ≤ 1", s.Model, s.Layers[i], ratio)
+			}
+		}
+	}
+}
+
+func TestFig13aOrdering(t *testing.T) {
+	r := Fig13aISAACAverage()
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	byName := map[string]float64{}
+	for _, row := range r.Rows {
+		byName[row.Model] = row.Ratio
+		if row.Ratio <= 1 {
+			t.Fatalf("%s ratio %v ≤ 1", row.Model, row.Ratio)
+		}
+	}
+	if byName["alexnet"] >= byName["mobilenet-cifar10"] {
+		t.Fatal("AlexNet should benefit least, MobileNet most")
+	}
+}
+
+func TestFig13bBand(t *testing.T) {
+	r := Fig13bINXSLayerwise()
+	if r.Mean < 25 || r.Mean > 75 {
+		t.Fatalf("INXS mean ratio %v outside ≈45× band", r.Mean)
+	}
+	if len(r.Layers) != 12 {
+		t.Fatalf("layers %d", len(r.Layers))
+	}
+}
+
+func TestFig14MaxRatios(t *testing.T) {
+	r := Fig14PeakPower()
+	if len(r.Series) != 6 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	anyHigh := false
+	for _, s := range r.Series {
+		if s.Max <= 1 {
+			t.Fatalf("%s: peak ratio max %v", s.Model, s.Max)
+		}
+		if s.Max > 20 {
+			anyHigh = true
+		}
+	}
+	if !anyHigh {
+		t.Fatal("no model reaches the tens-of-× peak ratios of Fig. 14")
+	}
+}
+
+func TestFig15SharesSumToOne(t *testing.T) {
+	r := Fig15ComponentBreakdownVGG()
+	check := func(rows []BreakdownRow) {
+		for _, row := range rows {
+			sum := row.Crossbar + row.Driver + row.NU + row.ADC + row.SRAM + row.EDRAM + row.NoC
+			if sum != 0 && (sum < 0.999 || sum > 1.001) {
+				t.Fatalf("%s/%s shares sum to %v", row.Model, row.Mode, sum)
+			}
+		}
+	}
+	check(r.PerLayerSNN)
+	check(r.PerLayerANN)
+	// SNN memory-dominance and ANN crossbar-dominance trends.
+	if r.TotalSNN.SRAM+r.TotalSNN.EDRAM < 0.3 {
+		t.Fatalf("SNN memory share %v", r.TotalSNN.SRAM+r.TotalSNN.EDRAM)
+	}
+	if r.TotalANN.Crossbar+r.TotalANN.Driver < 0.4 {
+		t.Fatalf("ANN crossbar+DAC share %v", r.TotalANN.Crossbar+r.TotalANN.Driver)
+	}
+}
+
+func TestFig16AllBenchmarks(t *testing.T) {
+	r := Fig16ComponentBreakdownAll()
+	if len(r.SNN) != 8 || len(r.ANN) != 8 {
+		t.Fatalf("rows: %d SNN, %d ANN", len(r.SNN), len(r.ANN))
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r := Fig17HybridStudy()
+	if len(r.Series) != 3 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		first := s.Points[0]
+		last := s.Points[len(s.Points)-1]
+		if first.Mode != "SNN" || last.Mode != "ANN" {
+			t.Fatalf("%s: endpoints %s..%s", s.Model, first.Mode, last.Mode)
+		}
+		// ANN energy must be well below SNN energy (paper: 5-10× lower).
+		if last.EnergyVsSNN >= 0.7 {
+			t.Fatalf("%s: ANN/SNN energy %v", s.Model, last.EnergyVsSNN)
+		}
+		// SNN power must be well below ANN power (paper: ≥6.25× lower).
+		if first.PowerVsANN >= 0.25 {
+			t.Fatalf("%s: SNN/ANN power %v", s.Model, first.PowerVsANN)
+		}
+		// Hybrids sit between the extremes: energy strictly decreasing
+		// from SNN toward ANN, power below ANN throughout, and the
+		// deepest hybrid drawing at least as much power as the first
+		// (the Fig. 17 "approaches ANN power" trend).
+		for i := 1; i < len(s.Points)-1; i++ {
+			p := s.Points[i]
+			if p.EnergyVsSNN > 1.001 {
+				t.Fatalf("%s %s: hybrid energy %v above SNN", s.Model, p.Mode, p.EnergyVsSNN)
+			}
+			if p.EnergyVsSNN >= s.Points[i-1].EnergyVsSNN {
+				t.Fatalf("%s: energy not decreasing at %s", s.Model, p.Mode)
+			}
+			if p.PowerVsANN >= 1.001 {
+				t.Fatalf("%s %s: hybrid power %v above ANN", s.Model, p.Mode, p.PowerVsANN)
+			}
+		}
+		firstHyb := s.Points[1]
+		lastHyb := s.Points[len(s.Points)-2]
+		if lastHyb.PowerVsANN < firstHyb.PowerVsANN-0.02 {
+			t.Fatalf("%s: deepest hybrid power %v fell below first %v",
+				s.Model, lastHyb.PowerVsANN, firstHyb.PowerVsANN)
+		}
+	}
+}
+
+func TestTableIIIRenderIncludesTotals(t *testing.T) {
+	var b bytes.Buffer
+	TableIIIComponents().Render(&b)
+	out := b.String()
+	for _, want := range []string{"eDRAM", "ANN super-tile", "chip 5.2", "113.8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The trained-model experiments are exercised with small sample budgets to
+// stay fast; their full-budget counterparts run in the bench harness.
+
+func TestTableIConversionSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains six models")
+	}
+	r := TableIConversion(12)
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ANNAccuracy < 0.25 {
+			t.Fatalf("%s ANN accuracy %v suspiciously low", row.Model, row.ANNAccuracy)
+		}
+		if row.SNNAccuracy < row.ANNAccuracy-0.45 {
+			t.Fatalf("%s: SNN %v too far below ANN %v", row.Model, row.SNNAccuracy, row.ANNAccuracy)
+		}
+	}
+	var b bytes.Buffer
+	r.Render(&b)
+	if !strings.Contains(b.String(), "Table I") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestFig4ActivityDecays(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains VGG")
+	}
+	r := Fig4SpikingActivity(8)
+	if len(r.Activity) < 4 {
+		t.Fatalf("activity entries %d", len(r.Activity))
+	}
+	// The Fig. 4 trend: deep layers spike less than the first layer on
+	// average (compare the first stateful layer to the mean of the last
+	// two IF stages; the final read-out has no spikes and is excluded).
+	n := len(r.Activity)
+	deep := (r.Activity[n-2] + r.Activity[n-3]) / 2
+	if deep >= r.Activity[0] {
+		t.Fatalf("activity did not decay: first %v deep %v", r.Activity[0], deep)
+	}
+}

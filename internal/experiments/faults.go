@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+// FaultPoint is one fault-rate operating point.
+type FaultPoint struct {
+	FaultRate float64
+	Accuracy  float64
+}
+
+// FaultResilienceResult is the stuck-at fault study: hardware SNN accuracy
+// as device fault rates grow — the abstract's "as efficient and
+// fault-tolerant as the brain" claim, exercised on simulated crossbars.
+type FaultResilienceResult struct {
+	Model  string
+	Points []FaultPoint
+}
+
+// FaultResilience trains the scaled MLP, lowers it onto the chip and
+// sweeps stuck-at-AP fault rates.
+func FaultResilience(samples, timesteps int) FaultResilienceResult {
+	tm := trainScaled(benchmarkSpec{"mlp3/mnist-like", models.NewMLP3, dataset.MNISTLike, 8, 0}, 400, 120)
+	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res := FaultResilienceResult{Model: tm.name}
+	for _, rate := range []float64{0, 0.005, 0.01, 0.05, 0.10, 0.20} {
+		chip := arch.NewChip(device.DefaultParams(), crossbar.Config{}, rng.New(Seed))
+		chip.FaultRate = rate
+		correct := 0
+		r := rng.New(Seed + 7)
+		for i := 0; i < samples; i++ {
+			img, label := tm.testDS.Sample(i)
+			run, err := chip.RunSNN(conv, img, timesteps, snn.NewPoissonEncoder(1.0, r.Split()))
+			if err != nil {
+				panic(err)
+			}
+			if run.Prediction == label {
+				correct++
+			}
+		}
+		res.Points = append(res.Points, FaultPoint{
+			FaultRate: rate,
+			Accuracy:  float64(correct) / float64(samples),
+		})
+	}
+	return res
+}
+
+// Render writes the fault curve.
+func (r FaultResilienceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Stuck-at fault resilience on simulated crossbars (%s)\n", r.Model)
+	fmt.Fprintln(w, "  fault rate  accuracy")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "  %9.3f   %.4f %s\n", p.FaultRate, p.Accuracy, bar(p.Accuracy, 1, 30))
+	}
+}

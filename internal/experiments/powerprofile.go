@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/models"
+	"repro/internal/replay"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+// PowerProfileResult is the trace-driven instantaneous power study: the
+// per-timestep chip power of one spiking inference, the temporal
+// counterpart of the Fig. 14 peak-vs-average discussion.
+type PowerProfileResult struct {
+	Model          string
+	Timesteps      int
+	StepPowerW     []float64
+	MeanPowerW     float64
+	PeakStepPowerW float64
+	EnergyJ        float64
+	Prediction     int
+	Label          int
+}
+
+// PowerProfile trains the scaled LeNet, records a spike trace of one test
+// image and replays it through the energy model.
+func PowerProfile(T int) PowerProfileResult {
+	tm := trainScaled(benchmarkSpec{"lenet5/mnist-like", models.NewLeNet5, dataset.MNISTLike, 6, 0}, 300, 80)
+	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	w, err := models.FromNetwork("lenet5-scaled", tm.net, 1, 16, 16)
+	if err != nil {
+		panic(err)
+	}
+	img, label := tm.testDS.Sample(0)
+	res, tr := conv.SNN.RunTraced(img, T, snn.NewPoissonEncoder(1.0, rng.New(Seed)))
+
+	m := energy.NewModel()
+	m.SNNParallelism = 1
+	rep, err := replay.Replay(m, w, tr)
+	if err != nil {
+		panic(err)
+	}
+	return PowerProfileResult{
+		Model: tm.name, Timesteps: T,
+		StepPowerW:     rep.StepPowerW,
+		MeanPowerW:     rep.MeanPowerW,
+		PeakStepPowerW: rep.PeakStepPowerW,
+		EnergyJ:        rep.EnergyJ,
+		Prediction:     res.Predict(),
+		Label:          label,
+	}
+}
+
+// Render writes the profile.
+func (r PowerProfileResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Trace-driven power profile (%s, T=%d): predicted %d (true %d)\n",
+		r.Model, r.Timesteps, r.Prediction, r.Label)
+	fmt.Fprintf(w, "  energy %.3f µJ, mean %.3f mW, peak step %.3f mW (ratio %.2f)\n",
+		r.EnergyJ*1e6, r.MeanPowerW*1e3, r.PeakStepPowerW*1e3, r.PeakStepPowerW/r.MeanPowerW)
+	stride := len(r.StepPowerW) / 15
+	if stride < 1 {
+		stride = 1
+	}
+	for t := 0; t < len(r.StepPowerW); t += stride {
+		fmt.Fprintf(w, "  t=%3d %8.4f mW %s\n", t, r.StepPowerW[t]*1e3,
+			bar(r.StepPowerW[t], r.PeakStepPowerW, 36))
+	}
+}

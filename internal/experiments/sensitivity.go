@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+	"repro/internal/inxs"
+	"repro/internal/isaac"
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+// SensitivityRow records how a headline ratio moves when one model knob is
+// scaled to 0.5× and 2× its default.
+type SensitivityRow struct {
+	Knob     string
+	Low      float64 // ratio at 0.5× knob
+	Baseline float64
+	High     float64 // ratio at 2× knob
+	// Span is max/min across the three points — the knob's leverage.
+	Span float64
+}
+
+// SensitivityResult is a tornado-style robustness study of the calibrated
+// energy model: it shows which assumptions the headline comparisons
+// actually depend on, and by how much.
+type SensitivityResult struct {
+	Headline string
+	Rows     []SensitivityRow
+}
+
+// Render writes the study.
+func (r SensitivityResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sensitivity — %s vs model assumptions (0.5×/1×/2× each knob)\n", r.Headline)
+	fmt.Fprintln(w, "  knob                        0.5×      1×      2×     span")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-26s %6.2f  %6.2f  %6.2f  %6.2f\n",
+			row.Knob, row.Low, row.Baseline, row.High, row.Span)
+	}
+}
+
+// SensitivitySNNvsANN sweeps the SNN-mode knobs and reports their effect
+// on the VGG E_SNN/E_ANN ratio.
+func SensitivitySNNvsANN() SensitivityResult {
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+
+	ratio := func(mutate func(*energy.Model)) float64 {
+		m := energy.NewModel()
+		if mutate != nil {
+			mutate(m)
+		}
+		return m.SNNNetwork(np, w.Timesteps, act).EnergyJ / m.ANNNetwork(np).EnergyJ
+	}
+	base := ratio(nil)
+
+	knobs := []struct {
+		name  string
+		scale func(m *energy.Model, f float64)
+	}{
+		{"SNNStaticFraction", func(m *energy.Model, f float64) { m.SNNStaticFraction *= f }},
+		{"SpikeGating", func(m *energy.Model, f float64) { m.SpikeGating *= f }},
+		{"EDRAMAccessJ", func(m *energy.Model, f float64) { m.EDRAMAccessJ *= f }},
+		{"AERBits", func(m *energy.Model, f float64) { m.AERBits = int(float64(m.AERBits) * f) }},
+		{"ADCPathOverhead", func(m *energy.Model, f float64) { m.ADCPathOverhead *= f }},
+		{"InputActivity", func(m *energy.Model, f float64) {}}, // handled below
+	}
+
+	res := SensitivityResult{Headline: "E_SNN/E_ANN (VGG-13)"}
+	for _, k := range knobs {
+		var low, high float64
+		if k.name == "InputActivity" {
+			lowAct := energy.DefaultActivity(w, energy.DefaultInputRate*0.5)
+			highAct := energy.DefaultActivity(w, minf(1, energy.DefaultInputRate*2))
+			m := energy.NewModel()
+			low = m.SNNNetwork(np, w.Timesteps, lowAct).EnergyJ / m.ANNNetwork(np).EnergyJ
+			high = m.SNNNetwork(np, w.Timesteps, highAct).EnergyJ / m.ANNNetwork(np).EnergyJ
+		} else {
+			low = ratio(func(m *energy.Model) { k.scale(m, 0.5) })
+			high = ratio(func(m *energy.Model) { k.scale(m, 2) })
+		}
+		row := SensitivityRow{Knob: k.name, Low: low, Baseline: base, High: high}
+		row.Span = maxf3(low, base, high) / minf3(low, base, high)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// SensitivityBaselines sweeps the baseline-model knobs and reports their
+// effect on the two cross-accelerator headlines.
+func SensitivityBaselines() SensitivityResult {
+	w := models.FullVGG13(10, 300, 91.60, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	em := energy.NewModel()
+	annE := em.ANNNetwork(np).EnergyJ
+	snnE := em.SNNNetwork(np, w.Timesteps, act).EnergyJ
+
+	res := SensitivityResult{Headline: "baseline ratios (VGG-13)"}
+
+	isaacRatio := func(f float64) float64 {
+		im := isaac.NewModel()
+		im.P.ADCEnergyPerConvJ *= f
+		return im.NetworkTotal(w) / annE
+	}
+	res.Rows = append(res.Rows, spanRow("ISAAC ADC energy → ISAAC/ANN",
+		isaacRatio(0.5), isaacRatio(1), isaacRatio(2)))
+
+	inxsRatio := func(f float64) float64 {
+		xm := inxs.NewModel()
+		xm.P.SRAMReadJ *= f
+		xm.P.SRAMWriteJ *= f
+		return xm.NetworkTotal(w, w.Timesteps, act) / snnE
+	}
+	res.Rows = append(res.Rows, spanRow("INXS SRAM energy → INXS/SNN",
+		inxsRatio(0.5), inxsRatio(1), inxsRatio(2)))
+
+	inxsADC := func(f float64) float64 {
+		xm := inxs.NewModel()
+		xm.P.ADCEnergyPerConvJ *= f
+		return xm.NetworkTotal(w, w.Timesteps, act) / snnE
+	}
+	res.Rows = append(res.Rows, spanRow("INXS ADC energy → INXS/SNN",
+		inxsADC(0.5), inxsADC(1), inxsADC(2)))
+
+	return res
+}
+
+func spanRow(name string, low, base, high float64) SensitivityRow {
+	return SensitivityRow{
+		Knob: name, Low: low, Baseline: base, High: high,
+		Span: maxf3(low, base, high) / minf3(low, base, high),
+	}
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf3(a, b, c float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+func minf3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

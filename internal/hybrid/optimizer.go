@@ -1,0 +1,94 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+// OperatingPoint is one (split, window) configuration with its measured
+// accuracy and modeled cost.
+type OperatingPoint struct {
+	NonSpiking int
+	Timesteps  int
+	Accuracy   float64
+	EnergyJ    float64
+	AvgPowerW  float64
+}
+
+// OptimizeResult is the outcome of an operating-point search.
+type OptimizeResult struct {
+	// Best is the minimum-energy point meeting the accuracy target.
+	Best OperatingPoint
+	// Frontier is every evaluated point, for inspection.
+	Frontier []OperatingPoint
+	// Found reports whether any point met the target.
+	Found bool
+}
+
+// Optimize searches the hybrid design space for the minimum-energy
+// configuration meeting an accuracy target — the §V-B trade-off ("keeping
+// both latency and energy in check, while also maintaining higher
+// accuracy") automated.
+//
+// Accuracy is measured on the converted scaled model over maxSamples test
+// images; energy/power come from the analytic model applied to the
+// full-size workload `w` (the deployment target). splits and windows
+// enumerate the candidate grid.
+func Optimize(c *convert.Converted, data *dataset.Dataset, w models.Workload,
+	splits, windows []int, target float64, maxSamples int, seed uint64) (*OptimizeResult, error) {
+	if len(splits) == 0 || len(windows) == 0 {
+		return nil, fmt.Errorf("hybrid: empty search grid")
+	}
+	em := energy.NewModel()
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+
+	res := &OptimizeResult{}
+	for _, k := range splits {
+		m, err := Split(c, k)
+		if err != nil {
+			continue // invalid split for this topology: skip
+		}
+		for _, T := range windows {
+			acc := m.Evaluate(data, T, maxSamples, seed)
+			rep := em.HybridNetwork(np, T, k, act)
+			pt := OperatingPoint{
+				NonSpiking: k, Timesteps: T,
+				Accuracy: acc, EnergyJ: rep.EnergyJ, AvgPowerW: rep.AvgPowerW,
+			}
+			res.Frontier = append(res.Frontier, pt)
+			if acc >= target && (!res.Found || pt.EnergyJ < res.Best.EnergyJ) {
+				res.Best = pt
+				res.Found = true
+			}
+		}
+	}
+	if len(res.Frontier) == 0 {
+		return nil, fmt.Errorf("hybrid: no valid operating points (splits %v)", splits)
+	}
+	return res, nil
+}
+
+// ParetoFront filters a frontier down to its accuracy/energy Pareto set:
+// points where no other point has both higher accuracy and lower energy.
+func ParetoFront(points []OperatingPoint) []OperatingPoint {
+	var front []OperatingPoint
+	for _, p := range points {
+		dominated := false
+		for _, q := range points {
+			if q.Accuracy >= p.Accuracy && q.EnergyJ < p.EnergyJ && (q.Accuracy > p.Accuracy || q.EnergyJ < p.EnergyJ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}

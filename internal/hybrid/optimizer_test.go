@@ -1,0 +1,79 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestOptimizeFindsFeasiblePoint(t *testing.T) {
+	c, _, te := fixtures(t)
+	w := models.FullMLP3()
+	res, err := Optimize(c, te, w,
+		[]int{1, 2}, []int{20, 60, 120}, 0.6, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("no operating point met target; frontier: %+v", res.Frontier)
+	}
+	if res.Best.Accuracy < 0.6 {
+		t.Fatalf("best point misses target: %+v", res.Best)
+	}
+	// Best must be minimal energy among qualifying points.
+	for _, p := range res.Frontier {
+		if p.Accuracy >= 0.6 && p.EnergyJ < res.Best.EnergyJ {
+			t.Fatalf("point %+v beats reported best %+v", p, res.Best)
+		}
+	}
+	if len(res.Frontier) != 6 {
+		t.Fatalf("frontier size %d, want 6", len(res.Frontier))
+	}
+}
+
+func TestOptimizeUnreachableTarget(t *testing.T) {
+	c, _, te := fixtures(t)
+	res, err := Optimize(c, te, models.FullMLP3(),
+		[]int{1}, []int{5}, 1.01, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("accuracy > 1 cannot be met")
+	}
+}
+
+func TestOptimizeEmptyGrid(t *testing.T) {
+	c, _, te := fixtures(t)
+	if _, err := Optimize(c, te, models.FullMLP3(), nil, nil, 0.5, 10, 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	pts := []OperatingPoint{
+		{Accuracy: 0.9, EnergyJ: 10},
+		{Accuracy: 0.8, EnergyJ: 5},
+		{Accuracy: 0.7, EnergyJ: 8}, // dominated by (0.8, 5)
+		{Accuracy: 0.95, EnergyJ: 20},
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size %d: %+v", len(front), front)
+	}
+	for _, p := range front {
+		if p.Accuracy == 0.7 {
+			t.Fatal("dominated point survived")
+		}
+	}
+}
+
+func TestParetoFrontAllIncomparable(t *testing.T) {
+	pts := []OperatingPoint{
+		{Accuracy: 0.9, EnergyJ: 10},
+		{Accuracy: 0.8, EnergyJ: 5},
+	}
+	if got := len(ParetoFront(pts)); got != 2 {
+		t.Fatalf("front size %d", got)
+	}
+}

@@ -1,0 +1,110 @@
+package inxs
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+func TestLayerComponentsPositive(t *testing.T) {
+	m := NewModel()
+	l := models.LayerShape{Name: "c", Kind: models.Conv, InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16}
+	e := m.Layer(l, 100, 0.2)
+	if e.CrossbarJ <= 0 || e.DriverJ <= 0 || e.ADCJ <= 0 || e.MembraneJ <= 0 || e.NoCJ <= 0 || e.BufferJ <= 0 {
+		t.Fatalf("component missing: %+v", e)
+	}
+}
+
+func TestPoolLayerFree(t *testing.T) {
+	m := NewModel()
+	pool := models.LayerShape{Kind: models.AvgPool, InC: 64, OutC: 64, K: 2, Stride: 2, InH: 32, InW: 32}
+	if m.Layer(pool, 100, 0.2).Total() != 0 {
+		t.Fatal("pooling must be free")
+	}
+}
+
+func TestMembranePathNotEventGated(t *testing.T) {
+	// The defining INXS cost: ADC + SRAM membrane traffic accrues every
+	// timestep regardless of spike rate.
+	m := NewModel()
+	l := models.LayerShape{Name: "c", Kind: models.Conv, InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16}
+	quiet := m.Layer(l, 100, 0.0)
+	busy := m.Layer(l, 100, 0.9)
+	if quiet.ADCJ != busy.ADCJ {
+		t.Fatal("ADC cost must be activity-independent")
+	}
+	if quiet.MembraneJ != busy.MembraneJ {
+		t.Fatal("membrane cost must be activity-independent")
+	}
+	if quiet.CrossbarJ >= busy.CrossbarJ {
+		t.Fatal("crossbar read energy should still grow with activity")
+	}
+}
+
+func TestEnergyLinearInTimesteps(t *testing.T) {
+	m := NewModel()
+	l := models.LayerShape{Name: "c", Kind: models.Conv, InC: 64, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 16, InW: 16}
+	e1 := m.Layer(l, 100, 0.2).Total()
+	e2 := m.Layer(l, 200, 0.2).Total()
+	if e2 != 2*e1 {
+		t.Fatalf("energy not ∝ T: %v vs %v", e1, e2)
+	}
+}
+
+func TestVGGRatioMatchesPaperBand(t *testing.T) {
+	// Fig. 13(b): INXS consumes ≈45× more energy than NEBULA-SNN on VGG.
+	xm := NewModel()
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.6, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	snn := em.SNNNetwork(np, w.Timesteps, act)
+	ratio := xm.NetworkTotal(w, w.Timesteps, act) / snn.EnergyJ
+	if ratio < 25 || ratio > 75 {
+		t.Fatalf("INXS/NEBULA ratio %v outside the ≈45× band", ratio)
+	}
+}
+
+func TestEveryLayerFavorsNEBULA(t *testing.T) {
+	xm := NewModel()
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.6, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	snn := em.SNNNetwork(np, w.Timesteps, act)
+	for i, le := range xm.Network(w, w.Timesteps, act) {
+		if le.Total() <= snn.Layers[i].Total() {
+			t.Fatalf("layer %s: INXS %v not above NEBULA %v", le.Name, le.Total(), snn.Layers[i].Total())
+		}
+	}
+}
+
+func TestDeepLayersSaveMore(t *testing.T) {
+	// Fig. 13(b) trend: savings grow deeper into the network as spiking
+	// activity decays (NEBULA's event gating wins more).
+	xm := NewModel()
+	em := energy.NewModel()
+	w := models.FullVGG13(10, 300, 91.6, 90.05)
+	np := mapping.MapWorkload(w)
+	act := energy.DefaultActivity(w, energy.DefaultInputRate)
+	snn := em.SNNNetwork(np, w.Timesteps, act)
+	layers := xm.Network(w, w.Timesteps, act)
+	first := layers[0].Total() / snn.Layers[0].Total()
+	mid := layers[4].Total() / snn.Layers[4].Total()
+	if mid <= first {
+		t.Fatalf("ratio did not grow with depth: layer0 %v vs layer4 %v", first, mid)
+	}
+}
+
+func TestNetworkActivityFallback(t *testing.T) {
+	m := NewModel()
+	w := models.FullLeNet5()
+	// nil activity must not panic and must produce positive energies.
+	for _, e := range m.Network(w, 40, nil) {
+		if e.Total() < 0 {
+			t.Fatalf("negative energy %+v", e)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package mapping_test
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+	"repro/internal/models"
+)
+
+// Map the first VGG layer: its 27-row receptive field fits one atomic
+// crossbar, thresholded at hierarchy level H0.
+func ExampleMap() {
+	l := models.LayerShape{
+		Name: "conv1_1", Kind: models.Conv,
+		InC: 3, OutC: 64, K: 3, Stride: 1, Pad: 1, InH: 32, InW: 32,
+	}
+	p := mapping.Map(l)
+	fmt.Printf("Rf=%d level=%s ACs=%d util=%.4f adc=%v\n",
+		l.Rf(), p.Level, p.ACsUsed, p.Utilization, p.NeedsADC())
+	// Output: Rf=27 level=H0 ACs=1 util=0.1055 adc=false
+}
+
+// A 4608-row kernel exceeds the 16M super-tile limit and spills across
+// neural cores on the ADC path.
+func ExampleMap_spill() {
+	l := models.LayerShape{
+		Name: "conv5_1", Kind: models.Conv,
+		InC: 512, OutC: 512, K: 3, Stride: 1, Pad: 1, InH: 2, InW: 2,
+	}
+	p := mapping.Map(l)
+	fmt.Printf("Rf=%d level=%s spill=%d cores\n", l.Rf(), p.Level, p.NCSpill)
+	// Output: Rf=4608 level=ADC spill=3 cores
+}

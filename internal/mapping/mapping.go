@@ -1,0 +1,246 @@
+// Package mapping places network layers onto the NEBULA crossbar
+// hierarchy following §IV-B of the paper: a kernel's receptive field
+// (Rf = KH·KW·C, Fig. 5) is flattened along crossbar rows; atomic
+// crossbars (ACs) are ganged vertically through morphable-tile switches
+// and the current-domain neuron-unit (NU) hierarchy to cover Rf up to
+// 16M rows inside a single neural core; larger kernels spill across
+// neural cores and pay the ADC + routing-unit reduction path.
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/models"
+)
+
+// Architecture constants from §IV and Table III.
+const (
+	// M is the atomic crossbar dimension (128×128).
+	M = 128
+	// ACsPerTile is the 2×2 array of atomic crossbars in a morphable tile.
+	ACsPerTile = 4
+	// TilesPerSuperTile is the 2×2 array of tiles in a super-tile.
+	TilesPerSuperTile = 4
+	// ACsPerNC is the atomic-crossbar capacity of one neural core
+	// (one super-tile: 16 ACs of 128×128, Table III).
+	ACsPerNC = ACsPerTile * TilesPerSuperTile
+	// MaxRowsPerNC is the largest receptive field a super-tile can
+	// aggregate in the current domain (16M, §IV-B3).
+	MaxRowsPerNC = ACsPerNC * M
+	// CycleNS is the pipeline stage latency set by the MTJ neuron
+	// switching time (§IV-B5).
+	CycleNS = 110.0
+)
+
+// NULevel identifies which neuron-unit hierarchy level thresholds a
+// mapped kernel's column current.
+type NULevel int
+
+// NU hierarchy levels (Fig. 7(a)); LevelADC marks the multi-NC spill path
+// where partial sums leave the analog domain.
+const (
+	LevelH0  NULevel = iota // Rf ≤ M: independent atomic crossbar
+	LevelH1                 // M < Rf ≤ 4M: within one morphable tile
+	LevelH2                 // 4M < Rf ≤ 16M: across tiles in the super-tile
+	LevelADC                // Rf > 16M: multi-NC with ADC reduction
+)
+
+// String implements fmt.Stringer.
+func (l NULevel) String() string {
+	switch l {
+	case LevelH0:
+		return "H0"
+	case LevelH1:
+		return "H1"
+	case LevelH2:
+		return "H2"
+	case LevelADC:
+		return "ADC"
+	}
+	return fmt.Sprintf("NULevel(%d)", int(l))
+}
+
+// Placement describes how one layer maps onto the hierarchy.
+type Placement struct {
+	Layer models.LayerShape
+	// Level is the NU hierarchy level selected by the receptive field.
+	Level NULevel
+	// StackHeight is the number of ACs ganged vertically per kernel
+	// column group (ceil(Rf/M), capped at 16 per NC).
+	StackHeight int
+	// Sets is the number of column groups needed to hold all kernels
+	// (each group provides M parallel kernel columns).
+	Sets int
+	// ACsUsed is the total atomic crossbars provisioned for the layer.
+	ACsUsed int
+	// NCSpill is the number of neural cores a single kernel spans
+	// (1 unless Level == LevelADC).
+	NCSpill int
+	// NCsUsed is the number of neural cores provisioned.
+	NCsUsed int
+	// Evaluations is the number of crossbar evaluations per inference
+	// pass (output spatial positions for conv, 1 for FC).
+	Evaluations int
+	// ADCConversionsPerEval is the number of analog-to-digital
+	// conversions per evaluation (0 on the all-analog path).
+	ADCConversionsPerEval int
+	// Utilization is the fraction of provisioned synapses carrying
+	// weights.
+	Utilization float64
+}
+
+// NeedsADC reports whether the layer pays the ADC + RU reduction path.
+func (p Placement) NeedsADC() bool { return p.Level == LevelADC }
+
+// LatencyNS returns the dataflow latency of one inference pass through
+// this layer, assuming evaluations are serialized on its crossbar sets
+// and the 3-stage NC pipeline of Fig. 8 (plus reduction hops on the ADC
+// path).
+func (p Placement) LatencyNS() float64 {
+	pipeline := 3.0
+	if p.NeedsADC() {
+		// digitize + reduce + activate (dashed stages of Fig. 8)
+		pipeline += 2 + math.Ceil(math.Log2(float64(p.NCSpill)))
+	}
+	return (float64(p.Evaluations) + pipeline - 1) * CycleNS
+}
+
+// Map places a layer. Pooling layers return a zero Placement with no
+// crossbars (they are folded into the NU datapath).
+func Map(l models.LayerShape) Placement {
+	if l.Kind == models.AvgPool {
+		return Placement{Layer: l, Evaluations: l.OutH() * l.OutW()}
+	}
+	rf := l.Rf()
+	kernels := l.Kernels()
+	stack := ceilDiv(rf, M)
+	level := levelFor(stack)
+	spill := 1
+	if stack > ACsPerNC {
+		spill = ceilDiv(stack, ACsPerNC)
+	}
+	sets := ceilDiv(kernels, M)
+	acs := stack * sets
+	ncs := spill * sets
+	if level != LevelADC {
+		ncs = ceilDiv(acs, ACsPerNC)
+		if ncs == 0 {
+			ncs = 1
+		}
+	}
+	evals := l.OutH() * l.OutW()
+	adcPerEval := 0
+	if level == LevelADC {
+		// Every kernel column's partial sum is digitized in each spilled
+		// NC; §IV-B5 notes at most 128 conversions per 110 ns cycle.
+		adcPerEval = kernels * spill
+	}
+	return Placement{
+		Layer:                 l,
+		Level:                 level,
+		StackHeight:           stack,
+		Sets:                  sets,
+		ACsUsed:               acs,
+		NCSpill:               spill,
+		NCsUsed:               ncs,
+		Evaluations:           evals,
+		ADCConversionsPerEval: adcPerEval,
+		Utilization:           float64(rf) * float64(kernels) / (float64(acs) * M * M),
+	}
+}
+
+func levelFor(stack int) NULevel {
+	switch {
+	case stack <= 1:
+		return LevelH0
+	case stack <= ACsPerTile:
+		return LevelH1
+	case stack <= ACsPerNC:
+		return LevelH2
+	default:
+		return LevelADC
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// NetworkPlacement maps every weighted layer of a workload.
+type NetworkPlacement struct {
+	Workload   models.Workload
+	Placements []Placement
+}
+
+// MapWorkload places all weighted layers of a workload.
+func MapWorkload(w models.Workload) NetworkPlacement {
+	np := NetworkPlacement{Workload: w}
+	for _, l := range w.WeightedLayers() {
+		np.Placements = append(np.Placements, Map(l))
+	}
+	return np
+}
+
+// TotalACs sums provisioned atomic crossbars.
+func (np NetworkPlacement) TotalACs() int {
+	t := 0
+	for _, p := range np.Placements {
+		t += p.ACsUsed
+	}
+	return t
+}
+
+// TotalNCs sums provisioned neural cores.
+func (np NetworkPlacement) TotalNCs() int {
+	t := 0
+	for _, p := range np.Placements {
+		t += p.NCsUsed
+	}
+	return t
+}
+
+// MeanUtilization returns the AC-weighted mean synapse utilization.
+func (np NetworkPlacement) MeanUtilization() float64 {
+	var used, total float64
+	for _, p := range np.Placements {
+		used += p.Utilization * float64(p.ACsUsed)
+		total += float64(p.ACsUsed)
+	}
+	if total == 0 {
+		return 0
+	}
+	return used / total
+}
+
+// FixedArrayPlacement models the ablation baseline: rigid N×N arrays with
+// no morphable switches and no NU hierarchy. Any kernel spanning more
+// than one array pays an ADC conversion per partial sum, as in
+// ISAAC-style designs.
+type FixedArrayPlacement struct {
+	ArraysUsed            int
+	ADCConversionsPerEval int
+	Utilization           float64
+	Evaluations           int
+}
+
+// MapFixed places a layer onto rigid n×n arrays.
+func MapFixed(l models.LayerShape, n int) FixedArrayPlacement {
+	if l.Kind == models.AvgPool {
+		return FixedArrayPlacement{Evaluations: l.OutH() * l.OutW()}
+	}
+	rf := l.Rf()
+	kernels := l.Kernels()
+	rowSplits := ceilDiv(rf, n)
+	colSplits := ceilDiv(kernels, n)
+	arrays := rowSplits * colSplits
+	adc := 0
+	if rowSplits > 1 {
+		// Each array's column partial sums must be digitized and merged.
+		adc = kernels * rowSplits
+	}
+	return FixedArrayPlacement{
+		ArraysUsed:            arrays,
+		ADCConversionsPerEval: adc,
+		Utilization:           float64(rf) * float64(kernels) / (float64(arrays) * float64(n) * float64(n)),
+		Evaluations:           l.OutH() * l.OutW(),
+	}
+}

@@ -1,0 +1,120 @@
+package mapping
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/models"
+)
+
+// randomLayer builds a random but valid weighted layer from fuzz inputs.
+func randomLayer(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw uint8) models.LayerShape {
+	k := []int{1, 3, 5, 7}[kRaw%4]
+	inC := int(inCRaw)%512 + 1
+	outC := int(outCRaw)%1024 + 1
+	size := int(sizeRaw)%32 + k // ensure the kernel fits
+	switch kindRaw % 3 {
+	case 0:
+		return models.LayerShape{Kind: models.Conv, InC: inC, OutC: outC,
+			K: k, Stride: 1, Pad: k / 2, InH: size, InW: size}
+	case 1:
+		return models.LayerShape{Kind: models.DWConv, InC: inC, OutC: inC,
+			K: k, Stride: 1, Pad: k / 2, InH: size, InW: size}
+	default:
+		return models.LayerShape{Kind: models.FC, InC: inC * 8, OutC: outC, InH: 1, InW: 1}
+	}
+}
+
+// TestPlacementInvariants checks structural invariants of Map over random
+// layer shapes: resource lower bounds, utilization bounds, level/stack
+// consistency, and ADC-path consistency.
+func TestPlacementInvariants(t *testing.T) {
+	f := func(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw uint8) bool {
+		l := randomLayer(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw)
+		p := Map(l)
+		rf := l.Rf()
+		// Stack must exactly cover the receptive field.
+		if p.StackHeight != (rf+M-1)/M {
+			return false
+		}
+		// Sets must exactly cover the kernels.
+		if p.Sets != (l.Kernels()+M-1)/M {
+			return false
+		}
+		// ACs = stack × sets.
+		if p.ACsUsed != p.StackHeight*p.Sets {
+			return false
+		}
+		// Utilization in (0, 1].
+		if p.Utilization <= 0 || p.Utilization > 1+1e-12 {
+			return false
+		}
+		// Level consistency with the stack height.
+		switch {
+		case p.StackHeight <= 1 && p.Level != LevelH0:
+			return false
+		case p.StackHeight > 1 && p.StackHeight <= ACsPerTile && p.Level != LevelH1:
+			return false
+		case p.StackHeight > ACsPerTile && p.StackHeight <= ACsPerNC && p.Level != LevelH2:
+			return false
+		case p.StackHeight > ACsPerNC && p.Level != LevelADC:
+			return false
+		}
+		// ADC path ⇔ conversions > 0, and spill ⇔ ADC.
+		if p.NeedsADC() != (p.ADCConversionsPerEval > 0) {
+			return false
+		}
+		if (p.NCSpill > 1) != p.NeedsADC() {
+			return false
+		}
+		// Evaluations: spatial positions (≥1).
+		if p.Evaluations < 1 {
+			return false
+		}
+		// Latency must be positive and at least evaluations × cycle.
+		if p.LatencyNS() < float64(p.Evaluations)*CycleNS {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFixedVsMorphableProperty: the morphable mapping never provisions
+// more synapse cells than a fixed array of the atomic size for the same
+// layer (it can merge but never fragments below 128×128 granularity).
+func TestFixedVsMorphableProperty(t *testing.T) {
+	f := func(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw uint8) bool {
+		l := randomLayer(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw)
+		mp := Map(l)
+		fp := MapFixed(l, M)
+		// Same atomic granularity ⇒ same cell count.
+		return mp.ACsUsed == fp.ArraysUsed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNEBULAAvoidsADCMoreOftenProperty: for any layer, if the fixed-array
+// baseline avoids digitization then so does NEBULA (never the reverse
+// before the 16M limit).
+func TestNEBULAAvoidsADCMoreOftenProperty(t *testing.T) {
+	f := func(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw uint8) bool {
+		l := randomLayer(kindRaw, inCRaw, outCRaw, kRaw, sizeRaw)
+		mp := Map(l)
+		fp := MapFixed(l, M)
+		if fp.ADCConversionsPerEval == 0 && mp.ADCConversionsPerEval > 0 {
+			return false // NEBULA digitized where a single array sufficed
+		}
+		if l.Rf() <= MaxRowsPerNC && mp.NeedsADC() {
+			return false // in-core kernels never digitize
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

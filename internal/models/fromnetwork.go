@@ -1,0 +1,60 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// FromNetwork derives a Workload (layer shape list) from a trainable
+// nn.Network by walking its layers with shape inference. This lets any
+// trained model — including user-defined ones — drive the mapping,
+// placement, compiler and energy analyses, not just the built-in
+// full-size paper workloads.
+//
+// ReLU, BatchNorm and Flatten layers carry no crossbar state and are
+// skipped; convolutions with groups == input channels become DWConv.
+func FromNetwork(name string, net *nn.Network, inC, inH, inW int) (Workload, error) {
+	w := Workload{Name: name}
+	c, h, wd := inC, inH, inW
+	for _, l := range net.Layers() {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			kind := Conv
+			if v.Groups == v.InC && v.Groups > 1 {
+				kind = DWConv
+			} else if v.Groups != 1 {
+				return Workload{}, fmt.Errorf("models: conv %s has unsupported group count %d (1 or InC only)", v.Name(), v.Groups)
+			}
+			ls := LayerShape{
+				Name: v.Name(), Kind: kind,
+				InC: v.InC, OutC: v.OutC,
+				K: v.KH, Stride: v.Stride, Pad: v.Pad,
+				InH: h, InW: wd,
+			}
+			if v.KH != v.KW {
+				return Workload{}, fmt.Errorf("models: conv %s is non-square (%dx%d)", v.Name(), v.KH, v.KW)
+			}
+			w.Layers = append(w.Layers, ls)
+			c, h, wd = ls.OutC, ls.OutH(), ls.OutW()
+		case *nn.Linear:
+			ls := LayerShape{Name: v.Name(), Kind: FC, InC: v.In, OutC: v.Out, InH: 1, InW: 1}
+			w.Layers = append(w.Layers, ls)
+			c, h, wd = v.Out, 1, 1
+		case *nn.AvgPool2D:
+			ls := LayerShape{Name: v.Name(), Kind: AvgPool, InC: c, OutC: c, K: v.K, Stride: v.Stride, InH: h, InW: wd}
+			w.Layers = append(w.Layers, ls)
+			h, wd = ls.OutH(), ls.OutW()
+		case *nn.MaxPool2D:
+			return Workload{}, fmt.Errorf("models: max pooling (%s) is not mappable; retrain with average pooling", v.Name())
+		case *nn.ReLU, *nn.BatchNorm2D, *nn.Flatten:
+			// No crossbar state.
+		default:
+			return Workload{}, fmt.Errorf("models: unsupported layer %s (%T)", l.Name(), l)
+		}
+	}
+	if len(w.Layers) == 0 {
+		return Workload{}, fmt.Errorf("models: network has no mappable layers")
+	}
+	return w, nil
+}

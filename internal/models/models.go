@@ -1,0 +1,200 @@
+// Package models is the model zoo for the NEBULA reproduction.
+//
+// It provides two views of each benchmark network from the paper:
+//
+//  1. Trainable, scaled-down nn.Networks that keep the structural identity
+//     of the originals (layer kinds, depths, pooling placement,
+//     depthwise-separable blocks) while being small enough to train from
+//     scratch on the synthetic datasets in seconds. These drive every
+//     accuracy-shaped experiment (Tables I–II, Figs. 9–10, noise study).
+//
+//  2. Full-size architecture descriptions (layer shape lists) exactly
+//     matching the paper's workloads. These carry no weights and drive the
+//     mapping, energy and power experiments (Figs. 12–17), which depend
+//     only on layer dimensions and activity statistics.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// ---------------------------------------------------------------------------
+// Trainable scaled networks
+// ---------------------------------------------------------------------------
+
+// NewMLP3 builds the paper's 3-layer MLP (MNIST benchmark), scaled to the
+// synthetic input size. Pure fully-connected with ReLU.
+func NewMLP3(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	in := inC * inSize * inSize
+	return nn.NewNetwork("mlp3",
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc1", in, 128, r),
+		nn.NewReLU("relu1"),
+		nn.NewLinear("fc2", 128, 64, r),
+		nn.NewReLU("relu2"),
+		nn.NewLinear("fc3", 64, classes, r),
+	)
+}
+
+// NewLeNet5 builds a LeNet-5-shaped network: two conv+pool stages and two
+// fully-connected layers (average pooling per the conversion constraints).
+func NewLeNet5(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	net := nn.NewNetwork("lenet5",
+		nn.NewConv2D("conv1", inC, 6, 5, 5, 1, 2, 1, r),
+		nn.NewReLU("relu1"),
+		nn.NewAvgPool2D("pool1", 2, 2),
+		nn.NewConv2D("conv2", 6, 16, 5, 5, 1, 0, 1, r),
+		nn.NewReLU("relu2"),
+		nn.NewAvgPool2D("pool2", 2, 2),
+		nn.NewFlatten("flat"),
+	)
+	flat := flatSize(net, inC, inSize)
+	net.Add(nn.NewLinear("fc1", flat, 84, r))
+	net.Add(nn.NewReLU("relu3"))
+	net.Add(nn.NewLinear("fc2", 84, classes, r))
+	return net
+}
+
+// NewVGG13 builds a channel-scaled VGG-13: five conv blocks of two 3×3
+// convolutions each (with BatchNorm) followed by pooling, then a classifier.
+// Channel widths are 1/8 of the original to stay trainable on a laptop.
+func NewVGG13(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	widths := []int{8, 16, 32, 32, 32} // scaled from 64,128,256,512,512
+	net := nn.NewNetwork("vgg13")
+	c := inC
+	size := inSize
+	block := 0
+	for _, w := range widths {
+		if size < 2 {
+			break
+		}
+		block++
+		for sub := 1; sub <= 2; sub++ {
+			name := fmt.Sprintf("conv%d_%d", block, sub)
+			net.Add(nn.NewConv2D(name, c, w, 3, 3, 1, 1, 1, r))
+			net.Add(nn.NewBatchNorm2D(name+".bn", w))
+			net.Add(nn.NewReLU(name + ".relu"))
+			c = w
+		}
+		net.Add(nn.NewAvgPool2D(fmt.Sprintf("pool%d", block), 2, 2))
+		size /= 2
+	}
+	net.Add(nn.NewFlatten("flat"))
+	flat := c * size * size
+	net.Add(nn.NewLinear("fc1", flat, 64, r))
+	net.Add(nn.NewReLU("fc1.relu"))
+	net.Add(nn.NewLinear("fc2", 64, classes, r))
+	return net
+}
+
+// NewMobileNetV1 builds a width-scaled MobileNet-v1: a stem convolution
+// followed by depthwise-separable blocks (depthwise 3×3 + pointwise 1×1,
+// each with BatchNorm), exactly the alternating structure whose energy
+// signature Fig. 12 examines.
+func NewMobileNetV1(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	net := nn.NewNetwork("mobilenet-v1",
+		nn.NewConv2D("conv0", inC, 8, 3, 3, 1, 1, 1, r),
+		nn.NewBatchNorm2D("conv0.bn", 8),
+		nn.NewReLU("conv0.relu"),
+	)
+	type blk struct{ out, stride int }
+	blocks := []blk{{16, 1}, {16, 2}, {32, 1}, {32, 2}, {32, 1}}
+	c := 8
+	size := inSize
+	for i, b := range blocks {
+		dw := fmt.Sprintf("dw%d", i+1)
+		pw := fmt.Sprintf("pw%d", i+1)
+		net.Add(nn.NewConv2D(dw, c, c, 3, 3, b.stride, 1, c, r))
+		net.Add(nn.NewBatchNorm2D(dw+".bn", c))
+		net.Add(nn.NewReLU(dw + ".relu"))
+		net.Add(nn.NewConv2D(pw, c, b.out, 1, 1, 1, 0, 1, r))
+		net.Add(nn.NewBatchNorm2D(pw+".bn", b.out))
+		net.Add(nn.NewReLU(pw + ".relu"))
+		c = b.out
+		if b.stride == 2 {
+			size = (size + 1) / 2
+		}
+	}
+	net.Add(nn.NewAvgPool2D("gap", size, size))
+	net.Add(nn.NewFlatten("flat"))
+	net.Add(nn.NewLinear("fc", c, classes, r))
+	return net
+}
+
+// NewSVHNNet builds the paper's SVHN network shape: a moderately deep
+// conv net with three conv blocks and two fully-connected layers.
+func NewSVHNNet(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	net := nn.NewNetwork("svhn-net",
+		nn.NewConv2D("conv1", inC, 12, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu1"),
+		nn.NewConv2D("conv2", 12, 12, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu2"),
+		nn.NewAvgPool2D("pool1", 2, 2),
+		nn.NewConv2D("conv3", 12, 24, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu3"),
+		nn.NewConv2D("conv4", 24, 24, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu4"),
+		nn.NewAvgPool2D("pool2", 2, 2),
+		nn.NewFlatten("flat"),
+	)
+	flat := flatSize(net, inC, inSize)
+	net.Add(nn.NewLinear("fc1", flat, 64, r))
+	net.Add(nn.NewReLU("relu5"))
+	net.Add(nn.NewLinear("fc2", 64, classes, r))
+	return net
+}
+
+// NewAlexNet builds an AlexNet-shaped network (five convolutions with
+// pooling after 1, 2 and 5, then three fully-connected layers), scaled to
+// small inputs.
+func NewAlexNet(inC, inSize, classes int, r *rng.Rand) *nn.Network {
+	net := nn.NewNetwork("alexnet",
+		nn.NewConv2D("conv1", inC, 12, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu1"),
+		nn.NewAvgPool2D("pool1", 2, 2),
+		nn.NewConv2D("conv2", 12, 24, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu2"),
+		nn.NewAvgPool2D("pool2", 2, 2),
+		nn.NewConv2D("conv3", 24, 32, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu3"),
+		nn.NewConv2D("conv4", 32, 32, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu4"),
+		nn.NewConv2D("conv5", 32, 24, 3, 3, 1, 1, 1, r),
+		nn.NewReLU("relu5"),
+		nn.NewAvgPool2D("pool3", 2, 2),
+		nn.NewFlatten("flat"),
+	)
+	flat := flatSize(net, inC, inSize)
+	net.Add(nn.NewLinear("fc1", flat, 96, r))
+	net.Add(nn.NewReLU("relu6"))
+	net.Add(nn.NewLinear("fc2", 96, 64, r))
+	net.Add(nn.NewReLU("relu7"))
+	net.Add(nn.NewLinear("fc3", 64, classes, r))
+	return net
+}
+
+// flatSize runs shape inference on the layers added so far.
+func flatSize(net *nn.Network, inC, inSize int) int {
+	shape := net.OutShape([]int{inC, inSize, inSize})
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// Builder constructs a trainable scaled network.
+type Builder func(inC, inSize, classes int, r *rng.Rand) *nn.Network
+
+// Zoo maps model names to builders for the trainable scaled networks.
+var Zoo = map[string]Builder{
+	"mlp3":         NewMLP3,
+	"lenet5":       NewLeNet5,
+	"vgg13":        NewVGG13,
+	"mobilenet-v1": NewMobileNetV1,
+	"svhn-net":     NewSVHNNet,
+	"alexnet":      NewAlexNet,
+}

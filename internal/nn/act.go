@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified-linear activation max(0, x), optionally saturating
+// at a clip ceiling. A finite Clip models the saturating rectified linear
+// neuron realized by the DW-MTJ non-spiking device (Fig. 2(b)): the domain
+// wall cannot travel past the end of the free layer, so the transfer
+// function saturates. Clip = +Inf gives a standard ReLU.
+type ReLU struct {
+	name   string
+	Clip   float64
+	lastIn *tensor.Tensor
+}
+
+// NewReLU constructs an unclipped ReLU.
+func NewReLU(name string) *ReLU { return &ReLU{name: name, Clip: math.Inf(1)} }
+
+// NewClippedReLU constructs a saturating ReLU with ceiling clip.
+func NewClippedReLU(name string, clip float64) *ReLU {
+	return &ReLU{name: name, Clip: clip}
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.name }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Shaper.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	r.lastIn = x
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		} else if v > r.Clip {
+			d[i] = r.Clip
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastIn == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	out := grad.Clone()
+	in := r.lastIn.Data()
+	d := out.Data()
+	for i := range d {
+		if in[i] <= 0 || in[i] >= r.Clip {
+			d[i] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an N×C×H×W activation to zero
+// mean and unit variance over the batch and spatial dimensions, then
+// applies a learned affine transform. At inference it uses running
+// statistics. The conversion pipeline folds this layer into the preceding
+// convolution (§V-A, "Handling Batch-Normalization Layers").
+type BatchNorm2D struct {
+	name     string
+	C        int
+	Eps      float64
+	Momentum float64
+
+	Gamma, Beta             *Param
+	RunningMean, RunningVar *tensor.Tensor
+
+	// cached for backward
+	lastIn   *tensor.Tensor
+	lastXHat *tensor.Tensor
+	lastMean []float64
+	lastVar  []float64
+}
+
+// NewBatchNorm2D constructs a batch-norm layer over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	g := tensor.New(c).Fill(1)
+	rv := tensor.New(c).Fill(1)
+	return &BatchNorm2D{
+		name: name, C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       NewParam(name+".gamma", g),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: tensor.New(c),
+		RunningVar:  rv,
+	}
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.name }
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// OutShape implements Shaper.
+func (b *BatchNorm2D) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != b.C {
+		panic(fmt.Sprintf("nn: %s got %v, want N×%d×H×W", b.name, x.Shape(), b.C))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	count := float64(n * h * w)
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+
+	mean := make([]float64, c)
+	variance := make([]float64, c)
+	if training {
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * h * w
+				for j := 0; j < h*w; j++ {
+					s += xd[base+j]
+				}
+			}
+			mean[ch] = s / count
+		}
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				base := (i*c + ch) * h * w
+				for j := 0; j < h*w; j++ {
+					d := xd[base+j] - mean[ch]
+					s += d * d
+				}
+			}
+			variance[ch] = s / count
+			b.RunningMean.Data()[ch] = (1-b.Momentum)*b.RunningMean.Data()[ch] + b.Momentum*mean[ch]
+			b.RunningVar.Data()[ch] = (1-b.Momentum)*b.RunningVar.Data()[ch] + b.Momentum*variance[ch]
+		}
+	} else {
+		copy(mean, b.RunningMean.Data())
+		copy(variance, b.RunningVar.Data())
+	}
+
+	xhat := tensor.New(x.Shape()...)
+	hd := xhat.Data()
+	gd, bd := b.Gamma.Value.Data(), b.Beta.Value.Data()
+	for ch := 0; ch < c; ch++ {
+		inv := 1.0 / math.Sqrt(variance[ch]+b.Eps)
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * h * w
+			for j := 0; j < h*w; j++ {
+				xh := (xd[base+j] - mean[ch]) * inv
+				hd[base+j] = xh
+				od[base+j] = gd[ch]*xh + bd[ch]
+			}
+		}
+	}
+	if training {
+		b.lastIn = x
+		b.lastXHat = xhat
+		b.lastMean = mean
+		b.lastVar = variance
+	}
+	return out
+}
+
+// Backward implements Layer (training-mode statistics).
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		panic("nn: BatchNorm2D.Backward before training Forward")
+	}
+	n, c, h, w := grad.Dim(0), grad.Dim(1), grad.Dim(2), grad.Dim(3)
+	count := float64(n * h * w)
+	dx := tensor.New(grad.Shape()...)
+	gd := grad.Data()
+	hd := b.lastXHat.Data()
+	dd := dx.Data()
+	gammaD := b.Gamma.Value.Data()
+	for ch := 0; ch < c; ch++ {
+		// Accumulate dGamma, dBeta and the two reduction terms.
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * h * w
+			for j := 0; j < h*w; j++ {
+				dy := gd[base+j]
+				sumDy += dy
+				sumDyXhat += dy * hd[base+j]
+			}
+		}
+		b.Gamma.Grad.Data()[ch] += sumDyXhat
+		b.Beta.Grad.Data()[ch] += sumDy
+		invStd := 1.0 / math.Sqrt(b.lastVar[ch]+b.Eps)
+		scale := gammaD[ch] * invStd / count
+		for i := 0; i < n; i++ {
+			base := (i*c + ch) * h * w
+			for j := 0; j < h*w; j++ {
+				dy := gd[base+j]
+				dd[base+j] = scale * (count*dy - sumDy - hd[base+j]*sumDyXhat)
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes a random fraction of activations during training and
+// rescales the survivors by 1/(1−p) (inverted dropout), so inference is a
+// pass-through. It regularizes the larger benchmark networks; it is
+// removed before conversion (a stateless identity at inference time, the
+// converter treats it as absent).
+type Dropout struct {
+	name string
+	// P is the drop probability in [0, 1).
+	P    float64
+	r    *rng.Rand
+	mask *tensor.Tensor
+}
+
+// NewDropout constructs a dropout layer with its own random stream.
+func NewDropout(name string, p float64, r *rng.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0, 1)")
+	}
+	return &Dropout{name: name, P: p, r: r}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Shaper.
+func (d *Dropout) OutShape(in []int) []int { return in }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	if !training || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	scale := 1 / (1 - d.P)
+	d.mask = tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	md, od, xd := d.mask.Data(), out.Data(), x.Data()
+	for i := range xd {
+		if !d.r.Bernoulli(d.P) {
+			md[i] = scale
+			od[i] = xd[i] * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	out.MulInPlace(d.mask)
+	return out
+}

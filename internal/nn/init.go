@@ -1,0 +1,27 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// HeInit fills w with zero-mean gaussian values of standard deviation
+// sqrt(2/fanIn), the standard initialization for ReLU networks.
+func HeInit(w *tensor.Tensor, fanIn int, r *rng.Rand) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	d := w.Data()
+	for i := range d {
+		d[i] = r.NormFloat64() * std
+	}
+}
+
+// XavierInit fills w with uniform values in ±sqrt(6/(fanIn+fanOut)).
+func XavierInit(w *tensor.Tensor, fanIn, fanOut int, r *rng.Rand) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	d := w.Data()
+	for i := range d {
+		d[i] = (2*r.Float64() - 1) * bound
+	}
+}

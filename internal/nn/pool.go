@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool2D averages non-overlapping (or strided) windows. The paper's
+// conversion pipeline (§V-A) requires average pooling because a crossbar
+// can implement it as a fixed-weight dot product, and because max-pooling
+// over binary spikes destroys rate information.
+type AvgPool2D struct {
+	name      string
+	K, Stride int
+	lastShape []int
+}
+
+// NewAvgPool2D constructs an average pooling layer with window k and
+// stride s (s = k for the usual non-overlapping pooling).
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	return &AvgPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Shaper.
+func (p *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects C×H×W, got %v", p.name, in))
+	}
+	return []int{in[0], tensor.ConvOutSize(in[1], p.K, p.Stride, 0), tensor.ConvOutSize(in[2], p.K, p.Stride, 0)}
+}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	ow := tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	p.lastShape = []int{n, c, h, w}
+	out := tensor.New(n, c, oh, ow)
+	inv := 1.0 / float64(p.K*p.K)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					s := 0.0
+					for ki := 0; ki < p.K; ki++ {
+						rowBase := inBase + (oi*p.Stride+ki)*w + oj*p.Stride
+						for kj := 0; kj < p.K; kj++ {
+							s += xd[rowBase+kj]
+						}
+					}
+					od[outBase+oi*ow+oj] = s * inv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastShape == nil {
+		panic("nn: AvgPool2D.Backward before Forward")
+	}
+	n, c, h, w := p.lastShape[0], p.lastShape[1], p.lastShape[2], p.lastShape[3]
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	dx := tensor.New(n, c, h, w)
+	inv := 1.0 / float64(p.K*p.K)
+	gd, dd := grad.Data(), dx.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					g := gd[outBase+oi*ow+oj] * inv
+					for ki := 0; ki < p.K; ki++ {
+						rowBase := inBase + (oi*p.Stride+ki)*w + oj*p.Stride
+						for kj := 0; kj < p.K; kj++ {
+							dd[rowBase+kj] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool2D takes the maximum of each window. It exists so that the
+// conversion study can quantify the accuracy cost of replacing max with
+// average pooling (§V-A); the NEBULA-mapped networks use AvgPool2D.
+type MaxPool2D struct {
+	name      string
+	K, Stride int
+	lastShape []int
+	argmax    []int
+}
+
+// NewMaxPool2D constructs a max pooling layer.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	return &MaxPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape implements Shaper.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: %s expects C×H×W, got %v", p.name, in))
+	}
+	return []int{in[0], tensor.ConvOutSize(in[1], p.K, p.Stride, 0), tensor.ConvOutSize(in[2], p.K, p.Stride, 0)}
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, training bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, p.K, p.Stride, 0)
+	ow := tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	p.lastShape = []int{n, c, h, w}
+	out := tensor.New(n, c, oh, ow)
+	p.argmax = make([]int, out.Size())
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for ki := 0; ki < p.K; ki++ {
+						rowBase := inBase + (oi*p.Stride+ki)*w + oj*p.Stride
+						for kj := 0; kj < p.K; kj++ {
+							if v := xd[rowBase+kj]; v > best {
+								best = v
+								bestIdx = rowBase + kj
+							}
+						}
+					}
+					od[outBase+oi*ow+oj] = best
+					p.argmax[outBase+oi*ow+oj] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.lastShape == nil {
+		panic("nn: MaxPool2D.Backward before Forward")
+	}
+	dx := tensor.New(p.lastShape...)
+	dd := dx.Data()
+	for i, g := range grad.Data() {
+		dd[p.argmax[i]] += g
+	}
+	return dx
+}

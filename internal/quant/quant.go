@@ -1,0 +1,310 @@
+// Package quant implements the precision pipeline of §IV-C of the NEBULA
+// paper: percentile-based activation clipping, range-based linear
+// quantization of activations and weights to a fixed number of resolution
+// levels (16 levels ≡ 4 bits in the paper), the conductance-ratio
+// constraint imposed by the MTJ ON/OFF resistance ratio, and the
+// Monte-Carlo weight-variation study of §IV-D.
+package quant
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Percentile returns the p-th percentile (0..100) of the values. It copies
+// and sorts; intended for calibration passes, not hot loops.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := make([]float64, len(values))
+	copy(s, values)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// QuantizeUniform maps v into one of `levels` evenly spaced values on
+// [0, max] (for non-negative ranges). Values outside are clipped. With
+// levels <= 1 or max <= 0 it returns 0.
+func QuantizeUniform(v, max float64, levels int) float64 {
+	if levels <= 1 || max <= 0 {
+		return 0
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > max {
+		v = max
+	}
+	step := max / float64(levels-1)
+	return math.Round(v/step) * step
+}
+
+// QuantizeSymmetric maps v onto a zero-centered symmetric grid with
+// ⌊(levels−1)/2⌋ positive and negative steps, the range-based linear
+// quantizer of [94] (Distiller). Zero and ±max are exactly representable,
+// which matters for sparse weights and the conductance-ratio constraint.
+// Used for weights, which are signed.
+func QuantizeSymmetric(v, max float64, levels int) float64 {
+	half := (levels - 1) / 2
+	if half < 1 || max <= 0 {
+		return 0
+	}
+	step := max / float64(half)
+	k := math.Round(v / step)
+	if k > float64(half) {
+		k = float64(half)
+	}
+	if k < -float64(half) {
+		k = -float64(half)
+	}
+	return k * step
+}
+
+// LayerRanges holds the calibrated per-layer clipping ranges.
+type LayerRanges struct {
+	// ActMax[i] is the activation ceiling a_max for layer i of the
+	// network (by layer index, 0 for layers without activations).
+	ActMax []float64
+	// WMax[i] is the symmetric weight clipping range for layer i.
+	WMax []float64
+}
+
+// CalibrationConfig controls range calibration.
+type CalibrationConfig struct {
+	// ActPercentile is the activation percentile used as a_max (the paper
+	// clips "at a certain percentile of the activation values").
+	ActPercentile float64
+	// WeightPercentile clips kernel values to limit the required
+	// conductance ratio ("clipping the kernel values to a certain range
+	// ... empirically decided for each layer").
+	WeightPercentile float64
+	// Samples is the number of calibration images passed through the model.
+	Samples int
+}
+
+// DefaultCalibration matches the paper's approach: near-max percentiles.
+func DefaultCalibration() CalibrationConfig {
+	return CalibrationConfig{ActPercentile: 99.7, WeightPercentile: 99.9, Samples: 64}
+}
+
+// Calibrate runs part of the training set through the network and records
+// per-layer activation ceilings and weight ranges.
+func Calibrate(net *nn.Network, data *dataset.Dataset, cfg CalibrationConfig) *LayerRanges {
+	n := cfg.Samples
+	if n > data.Len() {
+		n = data.Len()
+	}
+	layers := net.Layers()
+	acts := make([][]float64, len(layers))
+	x, _ := data.Batch(0, n)
+	outs := net.ForwardCapture(x, false)
+	for i, out := range outs {
+		acts[i] = append(acts[i], out.Data()...)
+	}
+	r := &LayerRanges{
+		ActMax: make([]float64, len(layers)),
+		WMax:   make([]float64, len(layers)),
+	}
+	for i := range layers {
+		r.ActMax[i] = Percentile(acts[i], cfg.ActPercentile)
+		var wvals []float64
+		for _, p := range layers[i].Params() {
+			wvals = append(wvals, absAll(p.Value.Data())...)
+		}
+		if len(wvals) > 0 {
+			r.WMax[i] = Percentile(wvals, cfg.WeightPercentile)
+		}
+	}
+	return r
+}
+
+func absAll(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = math.Abs(v)
+	}
+	return out
+}
+
+// Config describes a full quantization of a network.
+type Config struct {
+	WeightLevels     int // resolution levels for weights (16 ≡ 4 bits)
+	ActivationLevels int // resolution levels for activations
+	// ConductanceRatio is the max/min device conductance ratio the
+	// crossbar supports (the paper cites an experimentally observed 7×).
+	// Weights whose magnitude falls below WMax/ConductanceRatio cannot be
+	// distinguished from the OFF state and are flushed to zero. A ratio
+	// of 0 disables the constraint.
+	ConductanceRatio float64
+	// PerChannel quantizes each output channel (crossbar column group)
+	// against its own weight range instead of one per-layer range. The
+	// per-column scale factors are absorbed by the peripheral circuitry,
+	// as §IV-C notes ("some signal scaling factors are needed at every
+	// layer – this is taken care of by the peripheral circuitry").
+	PerChannel bool
+}
+
+// DefaultConfig is the paper's operating point: 16 levels (4 bits) for
+// both weights and activations.
+func DefaultConfig() Config {
+	return Config{WeightLevels: 16, ActivationLevels: 16, ConductanceRatio: 0}
+}
+
+// Apply quantizes the network in place: weights are clipped to the
+// calibrated per-layer range and quantized symmetrically; ReLU layers are
+// replaced by clipped ReLUs whose ceiling is the calibrated a_max,
+// quantized on the forward pass by the activation grid. It returns a
+// function that quantizes activations of layer i (used by the converter).
+//
+// The network should be a trained model; Apply mutates parameter values.
+func Apply(net *nn.Network, ranges *LayerRanges, cfg Config) {
+	layers := net.Layers()
+	for i, l := range layers {
+		wmax := ranges.WMax[i]
+		for _, p := range l.Params() {
+			if p.Value.NDim() < 2 {
+				// Biases and batch-norm affine terms stay full precision:
+				// they are realized by peripheral circuitry, not synapses.
+				continue
+			}
+			d := p.Value.Data()
+			if cfg.PerChannel {
+				// One range per output channel (the leading dimension of
+				// both conv and linear weights).
+				outC := p.Value.Dim(0)
+				perOut := p.Value.Size() / outC
+				for oc := 0; oc < outC; oc++ {
+					row := d[oc*perOut : (oc+1)*perOut]
+					cmax := 0.0
+					for _, v := range row {
+						if a := math.Abs(v); a > cmax {
+							cmax = a
+						}
+					}
+					if cmax == 0 {
+						continue
+					}
+					for j, v := range row {
+						q := QuantizeSymmetric(v, cmax, cfg.WeightLevels)
+						if cfg.ConductanceRatio > 0 && q != 0 && math.Abs(q) < cmax/cfg.ConductanceRatio {
+							q = 0
+						}
+						row[j] = q
+					}
+				}
+				continue
+			}
+			for j, v := range d {
+				q := QuantizeSymmetric(v, wmax, cfg.WeightLevels)
+				if cfg.ConductanceRatio > 0 && q != 0 {
+					floor := wmax / cfg.ConductanceRatio
+					if math.Abs(q) < floor {
+						q = 0
+					}
+				}
+				d[j] = q
+			}
+		}
+		// Saturate ReLUs at the calibrated ceiling so the analog neuron's
+		// limited output range is modeled during inference.
+		if relu, ok := l.(*nn.ReLU); ok {
+			if ranges.ActMax[i] > 0 {
+				relu.Clip = ranges.ActMax[i]
+			}
+		}
+	}
+}
+
+// QuantizedForward runs inference with activations snapped to the
+// quantization grid after every layer, the full fixed-point pipeline of
+// §IV-C. Weights must already be quantized via Apply.
+func QuantizedForward(net *nn.Network, x *tensor.Tensor, ranges *LayerRanges, cfg Config) *tensor.Tensor {
+	layers := net.Layers()
+	for i, l := range layers {
+		x = l.Forward(x, false)
+		if _, ok := l.(*nn.ReLU); ok {
+			amax := ranges.ActMax[i]
+			d := x.Data()
+			for j, v := range d {
+				d[j] = QuantizeUniform(v, amax, cfg.ActivationLevels)
+			}
+		}
+	}
+	return x
+}
+
+// EvaluateQuantized returns the accuracy of the fully quantized pipeline.
+func EvaluateQuantized(net *nn.Network, data *dataset.Dataset, ranges *LayerRanges, cfg Config, batch int) float64 {
+	if data.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for start := 0; start < data.Len(); start += batch {
+		n := batch
+		if start+n > data.Len() {
+			n = data.Len() - start
+		}
+		x, y := data.Batch(start, n)
+		logits := QuantizedForward(net, x, ranges, cfg)
+		for i := 0; i < n; i++ {
+			if logits.Row(i).ArgMax() == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(data.Len())
+}
+
+// PerturbWeights applies multiplicative gaussian noise of relative
+// standard deviation sigma to every weight matrix, modelling device
+// variation (§IV-D runs this with sigma = 0.10). It returns a restore
+// function that puts the original weights back.
+func PerturbWeights(net *nn.Network, sigma float64, r *rng.Rand) (restore func()) {
+	var saved []*tensor.Tensor
+	var params []*nn.Param
+	for _, p := range net.Params() {
+		if p.Value.NDim() < 2 {
+			continue
+		}
+		saved = append(saved, p.Value.Clone())
+		params = append(params, p)
+		d := p.Value.Data()
+		for i, v := range d {
+			d[i] = v * (1 + sigma*r.NormFloat64())
+		}
+	}
+	return func() {
+		for i, p := range params {
+			copy(p.Value.Data(), saved[i].Data())
+		}
+	}
+}
+
+// MonteCarloAccuracy runs trials of noisy inference and returns the mean
+// accuracy across trials, reproducing the §IV-D resilience experiment.
+func MonteCarloAccuracy(net *nn.Network, data *dataset.Dataset, ranges *LayerRanges, cfg Config, sigma float64, trials int, seed uint64) float64 {
+	r := rng.New(seed)
+	total := 0.0
+	for t := 0; t < trials; t++ {
+		restore := PerturbWeights(net, sigma, r.Split())
+		total += EvaluateQuantized(net, data, ranges, cfg, 32)
+		restore()
+	}
+	return total / float64(trials)
+}

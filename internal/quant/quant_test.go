@@ -1,0 +1,325 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/train"
+)
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if Percentile(vals, 0) != 1 {
+		t.Fatal("p0")
+	}
+	if Percentile(vals, 100) != 5 {
+		t.Fatal("p100")
+	}
+	if Percentile(vals, 50) != 3 {
+		t.Fatal("p50")
+	}
+	if Percentile(vals, 25) != 2 {
+		t.Fatal("p25")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty should give 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Percentile(vals, 50)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestQuantizeUniformGrid(t *testing.T) {
+	// 16 levels on [0, 1.5]: step = 0.1
+	step := 1.5 / 15
+	for _, v := range []float64{0, 0.04, 0.06, 0.75, 1.5, 2.0, -1} {
+		q := QuantizeUniform(v, 1.5, 16)
+		if q < 0 || q > 1.5 {
+			t.Fatalf("q(%v) = %v out of range", v, q)
+		}
+		ratio := q / step
+		if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+			t.Fatalf("q(%v) = %v not on grid", v, q)
+		}
+	}
+	if QuantizeUniform(2.0, 1.5, 16) != 1.5 {
+		t.Fatal("clipping above max failed")
+	}
+	if QuantizeUniform(-3, 1.5, 16) != 0 {
+		t.Fatal("negative must clip to 0")
+	}
+}
+
+func TestQuantizeSymmetricGrid(t *testing.T) {
+	if QuantizeSymmetric(10, 1, 16) != 1 {
+		t.Fatal("clip high")
+	}
+	if QuantizeSymmetric(-10, 1, 16) != -1 {
+		t.Fatal("clip low")
+	}
+	q := QuantizeSymmetric(0.5, 1, 3) // grid: -1, 0, 1
+	if q != 1 && q != 0 {
+		t.Fatalf("3-level quantization gave %v", q)
+	}
+	if QuantizeSymmetric(0.3, 0, 16) != 0 {
+		t.Fatal("max 0 must give 0")
+	}
+	if QuantizeSymmetric(0, 1, 16) != 0 {
+		t.Fatal("zero must be exactly representable")
+	}
+	if QuantizeSymmetric(1, 1, 16) != 1 {
+		t.Fatal("max must be exactly representable")
+	}
+}
+
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	if err := quick.Check(func(raw int16, lraw uint8) bool {
+		v := float64(raw) / 1000
+		levels := int(lraw%30) + 2
+		q := QuantizeSymmetric(v, 1, levels)
+		return QuantizeSymmetric(q, 1, levels) == q
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeErrorBound(t *testing.T) {
+	// Quantization error within range must be at most half a step.
+	max := 2.0
+	levels := 16
+	step := max / float64((levels-1)/2)
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		v := (2*r.Float64() - 1) * max
+		q := QuantizeSymmetric(v, max, levels)
+		if math.Abs(q-v) > step/2+1e-12 {
+			t.Fatalf("error %v exceeds half-step for v=%v", math.Abs(q-v), v)
+		}
+	}
+}
+
+// trainedMLP returns a small trained model plus datasets for quantization
+// tests (trained once per test that needs it; fast at this scale).
+func trainedMLP(t *testing.T) (*nn.Network, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	r := rng.New(77)
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 300, 150, 21)
+	net := models.NewMLP3(1, 16, 10, r)
+	cfg := train.DefaultConfig()
+	cfg.Epochs = 5
+	train.Run(net, tr, te, cfg)
+	return net, tr, te
+}
+
+func TestCalibrateProducesPositiveRanges(t *testing.T) {
+	net, tr, _ := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	if len(ranges.ActMax) != len(net.Layers()) {
+		t.Fatal("range count mismatch")
+	}
+	// Each ReLU layer should have a positive activation ceiling.
+	for i, l := range net.Layers() {
+		if _, ok := l.(*nn.ReLU); ok && ranges.ActMax[i] <= 0 {
+			t.Fatalf("layer %d ReLU ceiling = %v", i, ranges.ActMax[i])
+		}
+	}
+	// Linear layers must have positive weight ranges.
+	for i, l := range net.Layers() {
+		if _, ok := l.(*nn.Linear); ok && ranges.WMax[i] <= 0 {
+			t.Fatalf("layer %d weight range = %v", i, ranges.WMax[i])
+		}
+	}
+}
+
+func TestApplyQuantizesWeightsToGrid(t *testing.T) {
+	net, tr, _ := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	cfg := DefaultConfig()
+	Apply(net, ranges, cfg)
+	for i, l := range net.Layers() {
+		wmax := ranges.WMax[i]
+		for _, p := range l.Params() {
+			if p.Value.NDim() < 2 {
+				continue
+			}
+			step := wmax / float64((cfg.WeightLevels-1)/2)
+			for _, v := range p.Value.Data() {
+				ratio := v / step
+				if math.Abs(ratio-math.Round(ratio)) > 1e-6 {
+					t.Fatalf("weight %v of %s not on %d-level grid", v, p.Name, cfg.WeightLevels)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizedAccuracyCloseToFloat(t *testing.T) {
+	net, tr, te := trainedMLP(t)
+	floatAcc := train.Evaluate(net, te, 32)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	cfg := DefaultConfig()
+	Apply(net, ranges, cfg)
+	qAcc := EvaluateQuantized(net, te, ranges, cfg, 32)
+	if qAcc < floatAcc-0.15 {
+		t.Fatalf("16-level quantization lost too much: float %.3f vs quant %.3f", floatAcc, qAcc)
+	}
+}
+
+func TestFewerLevelsHurtMore(t *testing.T) {
+	// Accuracy at 2 weight levels must not beat accuracy at 16 levels by
+	// a wide margin — and typically is far worse (the Fig. 9 trend).
+	net, tr, te := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+
+	run := func(levels int) float64 {
+		clone := models.NewMLP3(1, 16, 10, rng.New(1))
+		copyParams(clone, net)
+		cfg := Config{WeightLevels: levels, ActivationLevels: 16}
+		Apply(clone, ranges, cfg)
+		return EvaluateQuantized(clone, te, ranges, cfg, 32)
+	}
+	acc16 := run(16)
+	acc2 := run(2)
+	if acc2 > acc16+0.05 {
+		t.Fatalf("2-level (%v) should not beat 16-level (%v)", acc2, acc16)
+	}
+}
+
+func copyParams(dst, src *nn.Network) {
+	dp, sp := dst.Params(), src.Params()
+	for i := range dp {
+		copy(dp[i].Value.Data(), sp[i].Value.Data())
+	}
+}
+
+func TestConductanceRatioFlushesSmallWeights(t *testing.T) {
+	net, tr, _ := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	cfg := DefaultConfig()
+	cfg.ConductanceRatio = 4 // aggressive: anything below wmax/4 → 0
+	Apply(net, ranges, cfg)
+	for i, l := range net.Layers() {
+		wmax := ranges.WMax[i]
+		for _, p := range l.Params() {
+			if p.Value.NDim() < 2 {
+				continue
+			}
+			for _, v := range p.Value.Data() {
+				if v != 0 && math.Abs(v) < wmax/4-1e-9 {
+					t.Fatalf("weight %v below conductance floor survived", v)
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbWeightsRestores(t *testing.T) {
+	net, _, _ := trainedMLP(t)
+	var before []float64
+	for _, p := range net.Params() {
+		before = append(before, p.Value.Data()...)
+	}
+	restore := PerturbWeights(net, 0.1, rng.New(5))
+	changed := false
+	idx := 0
+	for _, p := range net.Params() {
+		for _, v := range p.Value.Data() {
+			if v != before[idx] {
+				changed = true
+			}
+			idx++
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation changed nothing")
+	}
+	restore()
+	idx = 0
+	for _, p := range net.Params() {
+		for _, v := range p.Value.Data() {
+			if v != before[idx] {
+				t.Fatal("restore failed")
+			}
+			idx++
+		}
+	}
+}
+
+func TestMonteCarloNoiseResilience(t *testing.T) {
+	// The §IV-D result: 10% weight noise costs only a small accuracy drop
+	// on a quantized model.
+	net, tr, te := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	cfg := DefaultConfig()
+	Apply(net, ranges, cfg)
+	clean := EvaluateQuantized(net, te, ranges, cfg, 32)
+	noisy := MonteCarloAccuracy(net, te, ranges, cfg, 0.10, 3, 9)
+	if clean-noisy > 0.15 {
+		t.Fatalf("10%% noise dropped accuracy too much: %.3f → %.3f", clean, noisy)
+	}
+}
+
+func TestPerChannelQuantizationAtLeastAsGood(t *testing.T) {
+	// Per-channel ranges adapt to each kernel's magnitude and should not
+	// lose accuracy relative to one per-layer range at coarse precision.
+	net, tr, te := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	run := func(perChannel bool) float64 {
+		clone := models.NewMLP3(1, 16, 10, rng.New(1))
+		copyParams(clone, net)
+		cfg := Config{WeightLevels: 6, ActivationLevels: 16, PerChannel: perChannel}
+		Apply(clone, ranges, cfg)
+		return EvaluateQuantized(clone, te, ranges, cfg, 32)
+	}
+	perTensor := run(false)
+	perChannel := run(true)
+	if perChannel < perTensor-0.05 {
+		t.Fatalf("per-channel (%.3f) worse than per-tensor (%.3f)", perChannel, perTensor)
+	}
+}
+
+func TestPerChannelGridPerRow(t *testing.T) {
+	net, tr, _ := trainedMLP(t)
+	ranges := Calibrate(net, tr, DefaultCalibration())
+	cfg := Config{WeightLevels: 16, ActivationLevels: 16, PerChannel: true}
+	Apply(net, ranges, cfg)
+	for _, l := range net.Layers() {
+		for _, p := range l.Params() {
+			if p.Value.NDim() < 2 {
+				continue
+			}
+			outC := p.Value.Dim(0)
+			perOut := p.Value.Size() / outC
+			d := p.Value.Data()
+			for oc := 0; oc < outC; oc++ {
+				row := d[oc*perOut : (oc+1)*perOut]
+				cmax := 0.0
+				for _, v := range row {
+					if a := math.Abs(v); a > cmax {
+						cmax = a
+					}
+				}
+				if cmax == 0 {
+					continue
+				}
+				step := cmax / float64((cfg.WeightLevels-1)/2)
+				for _, v := range row {
+					ratio := v / step
+					if math.Abs(ratio-math.Round(ratio)) > 1e-6 {
+						t.Fatalf("weight %v not on channel grid (step %v)", v, step)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package replay drives the Table III energy model with recorded spike
+// traces instead of window-mean rates, producing instantaneous power
+// profiles of spiking inference — the event-driven power variation behind
+// the paper's peak-vs-average power discussion (§VI-C1).
+//
+// The flow: train a network, convert it (package convert), record a
+// per-timestep trace with snn.Network.RunTraced, derive the network's
+// layer shapes with models.FromNetwork, and Replay the trace through the
+// energy model. Because each timestep is charged with its actual spike
+// counts, the result exposes the temporal structure mean-rate analysis
+// averages away.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/snn"
+)
+
+// Result is a trace-driven energy/power replay.
+type Result struct {
+	// StepPowerW[t] is the chip power during timestep t.
+	StepPowerW []float64
+	// StepEnergyJ[t] is the energy of timestep t.
+	StepEnergyJ []float64
+	// EnergyJ is the total inference energy.
+	EnergyJ float64
+	// MeanPowerW and PeakStepPowerW summarize the profile.
+	MeanPowerW, PeakStepPowerW float64
+	// TimeS is the wall-clock inference time.
+	TimeS float64
+}
+
+// Replay charges each timestep of the trace with its actual layer input
+// and output rates. The workload's weighted layers must correspond 1:1 to
+// the trace's weighted stateful layers (the natural outcome of converting
+// the same network the workload was derived from).
+func Replay(m *energy.Model, w models.Workload, tr *snn.Trace) (*Result, error) {
+	np := mapping.MapWorkload(w)
+	// Indices of weighted trace layers.
+	var weightedIdx []int
+	for i, isW := range tr.Weighted {
+		if isW {
+			weightedIdx = append(weightedIdx, i)
+		}
+	}
+	// The converted network's read-out layer is a non-firing accumulator
+	// (snn.Output), so the trace records one fewer weighted stage than
+	// the workload has weighted layers.
+	if len(weightedIdx) != len(np.Placements)-1 {
+		return nil, fmt.Errorf("replay: trace has %d weighted IF stages, workload needs %d",
+			len(weightedIdx), len(np.Placements)-1)
+	}
+	rates := tr.Rates()
+	inRates := tr.InputRates()
+	res := &Result{}
+	for t := 0; t < tr.Timesteps(); t++ {
+		var stepE, stepT float64
+		for li, p := range np.Placements {
+			// Input rate: the stateful layer immediately before this
+			// weighted layer in trace order (pool or previous
+			// conv/dense); the encoder for the first layer.
+			var in, out float64
+			switch {
+			case li == 0:
+				in = inRates[t]
+				out = rates[t][weightedIdx[0]]
+			case li < len(weightedIdx):
+				in = rates[t][weightedIdx[li]-1]
+				out = rates[t][weightedIdx[li]]
+			default:
+				// Read-out accumulator: driven by the last IF stage,
+				// emits no spikes.
+				in = rates[t][len(rates[t])-1]
+				out = 0
+			}
+			rep := m.SNNLayer(p, 1, in, out)
+			stepE += rep.Total()
+			stepT += rep.TimeS
+		}
+		res.StepEnergyJ = append(res.StepEnergyJ, stepE)
+		if stepT > 0 {
+			res.StepPowerW = append(res.StepPowerW, stepE/stepT)
+		} else {
+			res.StepPowerW = append(res.StepPowerW, 0)
+		}
+		res.EnergyJ += stepE
+		res.TimeS += stepT
+		if p := res.StepPowerW[t]; p > res.PeakStepPowerW {
+			res.PeakStepPowerW = p
+		}
+	}
+	if res.TimeS > 0 {
+		res.MeanPowerW = res.EnergyJ / res.TimeS
+	}
+	return res, nil
+}

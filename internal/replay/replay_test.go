@@ -1,0 +1,210 @@
+package replay
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/energy"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/train"
+)
+
+var (
+	once sync.Once
+	fixC *convert.Converted
+	fixW models.Workload
+	fixD *dataset.Dataset
+)
+
+func fixture(t *testing.T) (*convert.Converted, models.Workload, *dataset.Dataset) {
+	t.Helper()
+	once.Do(func() {
+		tr, te := dataset.TrainTest(dataset.MNISTLike, 300, 80, 61)
+		fixD = te
+		net := models.NewLeNet5(1, 16, 10, rng.New(13))
+		cfg := train.DefaultConfig()
+		cfg.Epochs = 5
+		train.Run(net, tr, te, cfg)
+		var err error
+		fixC, err = convert.Convert(net, tr, convert.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixW, err = models.FromNetwork("lenet5-scaled", net, 1, 16, 16)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return fixC, fixW, fixD
+}
+
+func TestFromNetworkShapes(t *testing.T) {
+	_, w, _ := fixture(t)
+	weighted := w.WeightedLayers()
+	// Scaled LeNet: 2 conv + 2 fc.
+	if len(weighted) != 4 {
+		t.Fatalf("weighted layers %d", len(weighted))
+	}
+	if weighted[0].Kind != models.Conv || weighted[0].InC != 1 {
+		t.Fatalf("first layer %+v", weighted[0])
+	}
+	if weighted[3].Kind != models.FC || weighted[3].OutC != 10 {
+		t.Fatalf("last layer %+v", weighted[3])
+	}
+	// Pooling layers must appear between the convolutions.
+	pools := 0
+	for _, l := range w.Layers {
+		if l.Kind == models.AvgPool {
+			pools++
+		}
+	}
+	if pools != 2 {
+		t.Fatalf("pool layers %d", pools)
+	}
+}
+
+func TestFromNetworkDepthwise(t *testing.T) {
+	r := rng.New(1)
+	net := models.NewMobileNetV1(3, 16, 10, r)
+	w, err := models.FromNetwork("mobilenet-scaled", net, 3, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := 0
+	for _, l := range w.WeightedLayers() {
+		if l.Kind == models.DWConv {
+			dw++
+		}
+	}
+	if dw != 5 {
+		t.Fatalf("depthwise layers %d, want 5", dw)
+	}
+}
+
+func TestTraceRecordsSteps(t *testing.T) {
+	c, _, d := fixture(t)
+	img, _ := d.Sample(0)
+	const T = 40
+	res, tr := c.SNN.RunTraced(img, T, snn.NewPoissonEncoder(1.0, rng.New(3)))
+	if tr.Timesteps() != T {
+		t.Fatalf("trace length %d", tr.Timesteps())
+	}
+	if len(tr.LayerNames) == 0 || len(tr.Weighted) != len(tr.LayerNames) {
+		t.Fatalf("trace metadata broken: %+v", tr.LayerNames)
+	}
+	// Per-step counts must sum to the run totals for stateful layers.
+	var traceTotal float64
+	for _, row := range tr.Steps {
+		for _, v := range row {
+			traceTotal += v
+		}
+	}
+	var runTotal float64
+	for _, s := range res.LayerSpikes {
+		runTotal += s
+	}
+	if math.Abs(traceTotal-runTotal) > 1e-9 {
+		t.Fatalf("trace total %v != run total %v", traceTotal, runTotal)
+	}
+	// Rates must be within [0, 1].
+	for t2, row := range tr.Rates() {
+		for l, r := range row {
+			if r < 0 || r > 1 {
+				t.Fatalf("rate[%d][%d] = %v", t2, l, r)
+			}
+		}
+	}
+}
+
+func TestReplayMatchesMeanRateModel(t *testing.T) {
+	// Total replayed energy must land near the mean-rate analytic model
+	// fed with the same run's average activity.
+	c, w, d := fixture(t)
+	img, _ := d.Sample(1)
+	const T = 60
+	_, tr := c.SNN.RunTraced(img, T, snn.NewPoissonEncoder(1.0, rng.New(5)))
+
+	m := energy.NewModel()
+	m.SNNParallelism = 1 // per-step replay has no cross-step replication
+	rep, err := Replay(m, w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnergyJ <= 0 || len(rep.StepPowerW) != T {
+		t.Fatalf("degenerate replay %+v", rep)
+	}
+
+	// Mean-rate comparison: average the trace into a profile.
+	np := mapping.MapWorkload(w)
+	rates := tr.Rates()
+	var weightedIdx []int
+	for i, isW := range tr.Weighted {
+		if isW {
+			weightedIdx = append(weightedIdx, i)
+		}
+	}
+	profile := make([]float64, len(weightedIdx)+2)
+	inMean := 0.0
+	for _, v := range tr.InputRates() {
+		inMean += v
+	}
+	profile[0] = inMean / float64(T)
+	for li := range weightedIdx {
+		mean := 0.0
+		for t2 := 0; t2 < T; t2++ {
+			mean += rates[t2][weightedIdx[li]]
+		}
+		profile[li+1] = mean / float64(T)
+	}
+	analytic := m.SNNNetwork(np, T, profile)
+	ratio := rep.EnergyJ / analytic.EnergyJ
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("replay %.3g J vs mean-rate %.3g J (ratio %.2f)", rep.EnergyJ, analytic.EnergyJ, ratio)
+	}
+}
+
+func TestReplayPowerVaries(t *testing.T) {
+	// Event-driven power should vary step to step — the profile is the
+	// point of trace replay.
+	c, w, d := fixture(t)
+	img, _ := d.Sample(2)
+	_, tr := c.SNN.RunTraced(img, 50, snn.NewPoissonEncoder(1.0, rng.New(7)))
+	m := energy.NewModel()
+	m.SNNParallelism = 1
+	rep, err := Replay(m, w, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakStepPowerW <= rep.MeanPowerW {
+		t.Fatalf("peak step power %v not above mean %v", rep.PeakStepPowerW, rep.MeanPowerW)
+	}
+	minP := rep.StepPowerW[0]
+	maxP := rep.StepPowerW[0]
+	for _, p := range rep.StepPowerW {
+		if p < minP {
+			minP = p
+		}
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if maxP-minP <= 0 {
+		t.Fatal("power profile is flat")
+	}
+}
+
+func TestReplayRejectsMismatchedTrace(t *testing.T) {
+	c, _, d := fixture(t)
+	img, _ := d.Sample(0)
+	_, tr := c.SNN.RunTraced(img, 5, snn.NewPoissonEncoder(1.0, rng.New(1)))
+	wrong := models.FullVGG13(10, 300, 91.6, 90.05) // 12 weighted vs LeNet's 4
+	if _, err := Replay(energy.NewModel(), wrong, tr); err == nil {
+		t.Fatal("mismatched workload accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// ConfusionMatrix counts predictions per (true, predicted) class pair.
+type ConfusionMatrix struct {
+	Classes int
+	// Counts[true][pred]
+	Counts [][]int
+	Total  int
+}
+
+// NewConfusionMatrix allocates a k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	c := &ConfusionMatrix{Classes: k, Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	return c
+}
+
+// Add records one observation.
+func (c *ConfusionMatrix) Add(trueClass, predicted int) {
+	c.Counts[trueClass][predicted]++
+	c.Total++
+}
+
+// Accuracy returns overall accuracy.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.Classes; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(c.Total)
+}
+
+// PerClassRecall returns recall (true-positive rate) per class; classes
+// with no samples report NaN-free 0.
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for i := 0; i < c.Classes; i++ {
+		total := 0
+		for j := 0; j < c.Classes; j++ {
+			total += c.Counts[i][j]
+		}
+		if total > 0 {
+			out[i] = float64(c.Counts[i][i]) / float64(total)
+		}
+	}
+	return out
+}
+
+// PerClassPrecision returns precision per predicted class.
+func (c *ConfusionMatrix) PerClassPrecision() []float64 {
+	out := make([]float64, c.Classes)
+	for j := 0; j < c.Classes; j++ {
+		total := 0
+		for i := 0; i < c.Classes; i++ {
+			total += c.Counts[i][j]
+		}
+		if total > 0 {
+			out[j] = float64(c.Counts[j][j]) / float64(total)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 across classes.
+func (c *ConfusionMatrix) MacroF1() float64 {
+	rec := c.PerClassRecall()
+	prec := c.PerClassPrecision()
+	sum := 0.0
+	for i := 0; i < c.Classes; i++ {
+		if rec[i]+prec[i] > 0 {
+			sum += 2 * rec[i] * prec[i] / (rec[i] + prec[i])
+		}
+	}
+	return sum / float64(c.Classes)
+}
+
+// Render writes the matrix as a table.
+func (c *ConfusionMatrix) Render(w io.Writer) {
+	fmt.Fprintf(w, "confusion matrix (%d samples, accuracy %.4f, macro-F1 %.4f)\n",
+		c.Total, c.Accuracy(), c.MacroF1())
+	fmt.Fprint(w, "      ")
+	for j := 0; j < c.Classes; j++ {
+		fmt.Fprintf(w, "%5d", j)
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < c.Classes; i++ {
+		fmt.Fprintf(w, "  %3d ", i)
+		for j := 0; j < c.Classes; j++ {
+			fmt.Fprintf(w, "%5d", c.Counts[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// EvaluateConfusion runs the network over the dataset and returns the
+// full confusion matrix (a richer Evaluate).
+func EvaluateConfusion(net *nn.Network, data *dataset.Dataset, batch int) *ConfusionMatrix {
+	cm := NewConfusionMatrix(data.Classes)
+	for start := 0; start < data.Len(); start += batch {
+		n := batch
+		if start+n > data.Len() {
+			n = data.Len() - start
+		}
+		x, y := data.Batch(start, n)
+		logits := net.Forward(x, false)
+		for i := 0; i < n; i++ {
+			cm.Add(y[i], logits.Row(i).ArgMax())
+		}
+	}
+	return cm
+}

@@ -1,0 +1,73 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/rng"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	cm := NewConfusionMatrix(3)
+	// Class 0: 2 right, 1 confused as 1. Class 1: 1 right. Class 2: 1 as 0.
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(0, 1)
+	cm.Add(1, 1)
+	cm.Add(2, 0)
+	if cm.Total != 5 {
+		t.Fatalf("total %d", cm.Total)
+	}
+	if got := cm.Accuracy(); math.Abs(got-3.0/5) > 1e-12 {
+		t.Fatalf("accuracy %v", got)
+	}
+	rec := cm.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3) > 1e-12 || rec[1] != 1 || rec[2] != 0 {
+		t.Fatalf("recall %v", rec)
+	}
+	prec := cm.PerClassPrecision()
+	if math.Abs(prec[0]-2.0/3) > 1e-12 || prec[1] != 0.5 || prec[2] != 0 {
+		t.Fatalf("precision %v", prec)
+	}
+	if f1 := cm.MacroF1(); f1 <= 0 || f1 >= 1 {
+		t.Fatalf("macro F1 %v", f1)
+	}
+}
+
+func TestConfusionEmptyAccuracy(t *testing.T) {
+	if NewConfusionMatrix(4).Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy must be 0")
+	}
+}
+
+func TestEvaluateConfusionAgreesWithEvaluate(t *testing.T) {
+	r := rng.New(3)
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 200, 100, 9)
+	net := models.NewMLP3(1, 16, 10, r)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	Run(net, tr, te, cfg)
+	plain := Evaluate(net, te, 32)
+	cm := EvaluateConfusion(net, te, 32)
+	if math.Abs(plain-cm.Accuracy()) > 1e-12 {
+		t.Fatalf("accuracy mismatch: %v vs %v", plain, cm.Accuracy())
+	}
+	if cm.Total != te.Len() {
+		t.Fatalf("total %d, want %d", cm.Total, te.Len())
+	}
+}
+
+func TestConfusionRender(t *testing.T) {
+	cm := NewConfusionMatrix(2)
+	cm.Add(0, 0)
+	cm.Add(1, 0)
+	var b bytes.Buffer
+	cm.Render(&b)
+	if !strings.Contains(b.String(), "confusion matrix") {
+		t.Fatal("render missing header")
+	}
+}

@@ -1,0 +1,135 @@
+// Package train provides the SGD training loop used to fit the benchmark
+// networks before they are quantized, converted to SNNs and mapped onto the
+// NEBULA architecture.
+package train
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SGD is a stochastic-gradient-descent optimizer with classical momentum
+// and optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	velocity    map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*nn.Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter from its accumulated gradient.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		pd, gd, vd := p.Value.Data(), p.Grad.Data(), v.Data()
+		for i := range pd {
+			g := gd[i] + s.WeightDecay*pd[i]
+			vd[i] = s.Momentum*vd[i] - s.LR*g
+			pd[i] += vd[i]
+		}
+	}
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// LRDecayEvery halves the learning rate every this many epochs
+	// (0 disables decay).
+	LRDecayEvery int
+	// Log receives progress lines; nil silences logging.
+	Log io.Writer
+}
+
+// DefaultConfig returns a configuration that trains the scaled benchmark
+// networks to useful accuracy in seconds.
+func DefaultConfig() Config {
+	return Config{Epochs: 8, BatchSize: 32, LR: 0.05, Momentum: 0.9, WeightDecay: 1e-4, LRDecayEvery: 4}
+}
+
+// Result summarizes a training run.
+type Result struct {
+	FinalLoss     float64
+	TrainAccuracy float64
+	TestAccuracy  float64
+}
+
+// Run trains net on train, evaluating on test after the final epoch.
+func Run(net *nn.Network, train, test *dataset.Dataset, cfg Config) Result {
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.LRDecayEvery > 0 && epoch > 0 && epoch%cfg.LRDecayEvery == 0 {
+			opt.LR /= 2
+		}
+		lastLoss = runEpoch(net, train, opt, cfg.BatchSize)
+		if cfg.Log != nil {
+			acc := Evaluate(net, test, cfg.BatchSize)
+			fmt.Fprintf(cfg.Log, "epoch %2d: loss=%.4f test-acc=%.4f lr=%.4g\n", epoch, lastLoss, acc, opt.LR)
+		}
+	}
+	return Result{
+		FinalLoss:     lastLoss,
+		TrainAccuracy: Evaluate(net, train, cfg.BatchSize),
+		TestAccuracy:  Evaluate(net, test, cfg.BatchSize),
+	}
+}
+
+// runEpoch performs one pass over the dataset and returns the mean loss.
+func runEpoch(net *nn.Network, data *dataset.Dataset, opt *SGD, batchSize int) float64 {
+	total := 0.0
+	batches := 0
+	for start := 0; start+batchSize <= data.Len(); start += batchSize {
+		x, y := data.Batch(start, batchSize)
+		logits := net.Forward(x, true)
+		loss, grad := nn.SoftmaxCrossEntropy(logits, y)
+		net.ZeroGrad()
+		net.Backward(grad)
+		opt.Step(net.Params())
+		total += loss
+		batches++
+	}
+	if batches == 0 {
+		return 0
+	}
+	return total / float64(batches)
+}
+
+// Evaluate returns the accuracy of net on data in inference mode.
+func Evaluate(net *nn.Network, data *dataset.Dataset, batchSize int) float64 {
+	if data.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for start := 0; start < data.Len(); start += batchSize {
+		n := batchSize
+		if start+n > data.Len() {
+			n = data.Len() - start
+		}
+		x, y := data.Batch(start, n)
+		logits := net.Forward(x, false)
+		for i := 0; i < n; i++ {
+			if logits.Row(i).ArgMax() == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(data.Len())
+}

@@ -1,0 +1,104 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestSGDStepDirection(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float64{1}, 1))
+	p.Grad.Data()[0] = 2
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step([]*nn.Param{p})
+	if got := p.Value.Data()[0]; got != 0.8 {
+		t.Fatalf("after step w = %v, want 0.8", got)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float64{0}, 1))
+	opt := NewSGD(1, 0.5, 0)
+	p.Grad.Data()[0] = 1
+	opt.Step([]*nn.Param{p}) // v = -1, w = -1
+	opt.Step([]*nn.Param{p}) // v = -0.5 - 1 = -1.5, w = -2.5
+	if got := p.Value.Data()[0]; got != -2.5 {
+		t.Fatalf("after 2 momentum steps w = %v, want -2.5", got)
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := nn.NewParam("w", tensor.FromSlice([]float64{10}, 1))
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*nn.Param{p}) // g = 0 + 0.5*10 = 5; w = 10 - 0.5 = 9.5
+	if got := p.Value.Data()[0]; got != 9.5 {
+		t.Fatalf("weight decay step w = %v, want 9.5", got)
+	}
+}
+
+func TestTrainingReducesLossAndLearns(t *testing.T) {
+	r := rng.New(42)
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 400, 200, 7)
+	net := models.NewMLP3(1, 16, 10, r)
+	cfg := DefaultConfig()
+	cfg.Epochs = 6
+	res := Run(net, tr, te, cfg)
+	if res.TestAccuracy < 0.5 {
+		t.Fatalf("MLP failed to learn: test acc %.3f", res.TestAccuracy)
+	}
+	if res.TrainAccuracy < res.TestAccuracy-0.3 {
+		t.Fatalf("suspicious accuracies: train %.3f test %.3f", res.TrainAccuracy, res.TestAccuracy)
+	}
+}
+
+func TestConvNetLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conv training is slow")
+	}
+	r := rng.New(43)
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 300, 150, 11)
+	net := models.NewLeNet5(1, 16, 10, r)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	res := Run(net, tr, te, cfg)
+	if res.TestAccuracy < 0.5 {
+		t.Fatalf("LeNet failed to learn: test acc %.3f", res.TestAccuracy)
+	}
+}
+
+func TestEvaluateHandlesPartialBatch(t *testing.T) {
+	r := rng.New(44)
+	d := dataset.Generate(dataset.MNISTLike, 33, 3) // not a multiple of 32
+	net := models.NewMLP3(1, 16, 10, r)
+	acc := Evaluate(net, d, 32)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy out of range: %v", acc)
+	}
+}
+
+func TestEvaluateEmptyDataset(t *testing.T) {
+	r := rng.New(45)
+	net := models.NewMLP3(1, 16, 10, r)
+	empty := &dataset.Dataset{Name: "empty", Images: tensor.New(0, 1, 16, 16), Labels: nil, Classes: 10}
+	if acc := Evaluate(net, empty, 8); acc != 0 {
+		t.Fatalf("empty accuracy = %v", acc)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() float64 {
+		r := rng.New(1)
+		tr, te := dataset.TrainTest(dataset.MNISTLike, 100, 50, 5)
+		net := models.NewMLP3(1, 16, 10, r)
+		cfg := DefaultConfig()
+		cfg.Epochs = 2
+		return Run(net, tr, te, cfg).TestAccuracy
+	}
+	if run() != run() {
+		t.Fatal("training is not deterministic")
+	}
+}
