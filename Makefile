@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race lint fmt-check verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/nebula-lint ./...
+
+verify: build fmt-check lint test race

@@ -31,7 +31,10 @@ func BenchmarkFig1_DeviceCharacteristic(b *testing.B) {
 
 func BenchmarkFig4_SpikingActivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig4SpikingActivity(10)
+		r, err := experiments.Fig4SpikingActivity(10)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(r.Activity[0], "layer1_rate")
 	}
@@ -53,7 +56,10 @@ func BenchmarkFig9_QuantizationSweep(b *testing.B) {
 
 func BenchmarkFig10_Correlation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig10Correlation(6)
+		r, err := experiments.Fig10Correlation(6)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(r.CorrLongT[len(r.CorrLongT)-1], "deep_corr")
 	}
@@ -61,7 +67,10 @@ func BenchmarkFig10_Correlation(b *testing.B) {
 
 func BenchmarkTableI_Conversion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.TableIConversion(15)
+		r, err := experiments.TableIConversion(15)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		var minGap float64 = 1
 		for _, row := range r.Rows {
@@ -75,7 +84,10 @@ func BenchmarkTableI_Conversion(b *testing.B) {
 
 func BenchmarkTableII_Hybrid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.TableIIHybrid(15)
+		r, err := experiments.TableIIHybrid(15)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(float64(len(r.Rows)), "rows")
 	}
@@ -164,7 +176,10 @@ func BenchmarkFig17_HybridStudy(b *testing.B) {
 
 func BenchmarkNoise_Resilience(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.NoiseResilience(15, 2)
+		r, err := experiments.NoiseResilience(15, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(r.CleanANN-r.NoisyANN, "ann_acc_drop")
 	}
@@ -244,7 +259,10 @@ func BenchmarkSensitivity_Baselines(b *testing.B) {
 
 func BenchmarkPowerProfile_TraceReplay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.PowerProfile(60)
+		r, err := experiments.PowerProfile(60)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(r.PeakStepPowerW/r.MeanPowerW, "peak_over_mean")
 	}
@@ -252,7 +270,10 @@ func BenchmarkPowerProfile_TraceReplay(b *testing.B) {
 
 func BenchmarkFaultResilience(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.FaultResilience(10, 50)
+		r, err := experiments.FaultResilience(10, 50)
+		if err != nil {
+			b.Fatal(err)
+		}
 		discard(r)
 		b.ReportMetric(r.Points[0].Accuracy-r.Points[len(r.Points)-1].Accuracy, "acc_drop_at_20pct")
 	}

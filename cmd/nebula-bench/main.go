@@ -59,79 +59,136 @@ func main() {
 		fmt.Printf("  [wrote %s]\n", path)
 	}
 
-	runners := map[string]func(){
-		"fig1": func() {
+	runners := map[string]func() error{
+		"fig1": func() error {
 			r := experiments.Fig1DeviceCharacteristic()
 			r.Render(os.Stdout)
 			writeCSV("fig1", func(f *os.File) error { return figio.Fig1CSV(f, r) })
+			return nil
 		},
-		"fig4":  func() { experiments.Fig4SpikingActivity(*samples).Render(os.Stdout) },
-		"fig9":  func() { experiments.Fig9QuantizationSweep().Render(os.Stdout) },
-		"fig10": func() { experiments.Fig10Correlation(*samples).Render(os.Stdout) },
-		"fig12": func() {
+		"fig4": func() error {
+			r, err := experiments.Fig4SpikingActivity(*samples)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		},
+		"fig9": func() error {
+			experiments.Fig9QuantizationSweep().Render(os.Stdout)
+			return nil
+		},
+		"fig10": func() error {
+			r, err := experiments.Fig10Correlation(*samples)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		},
+		"fig12": func() error {
 			r := experiments.Fig12ISAACLayerwise()
 			r.Render(os.Stdout)
 			writeCSV("fig12", func(f *os.File) error { return figio.Fig12CSV(f, r) })
+			return nil
 		},
-		"fig13a": func() {
+		"fig13a": func() error {
 			r := experiments.Fig13aISAACAverage()
 			r.Render(os.Stdout)
 			writeCSV("fig13a", func(f *os.File) error { return figio.Fig13aCSV(f, r) })
+			return nil
 		},
-		"fig13b": func() {
+		"fig13b": func() error {
 			r := experiments.Fig13bINXSLayerwise()
 			r.Render(os.Stdout)
 			writeCSV("fig13b", func(f *os.File) error { return figio.Fig13bCSV(f, r) })
+			return nil
 		},
-		"fig14": func() {
+		"fig14": func() error {
 			r := experiments.Fig14PeakPower()
 			r.Render(os.Stdout)
 			writeCSV("fig14", func(f *os.File) error { return figio.Fig14CSV(f, r) })
+			return nil
 		},
-		"fig15": func() { experiments.Fig15ComponentBreakdownVGG().Render(os.Stdout) },
-		"fig16": func() { experiments.Fig16ComponentBreakdownAll().Render(os.Stdout) },
-		"fig17": func() {
+		"fig15": func() error {
+			experiments.Fig15ComponentBreakdownVGG().Render(os.Stdout)
+			return nil
+		},
+		"fig16": func() error {
+			experiments.Fig16ComponentBreakdownAll().Render(os.Stdout)
+			return nil
+		},
+		"fig17": func() error {
 			r := experiments.Fig17HybridStudy()
 			r.Render(os.Stdout)
 			writeCSV("fig17", func(f *os.File) error { return figio.Fig17CSV(f, r) })
+			return nil
 		},
-		"table1": func() {
-			r := experiments.TableIConversion(*samples)
+		"table1": func() error {
+			r, err := experiments.TableIConversion(*samples)
+			if err != nil {
+				return err
+			}
 			r.Render(os.Stdout)
 			writeCSV("table1", func(f *os.File) error { return figio.TableICSV(f, r) })
+			return nil
 		},
-		"table2": func() {
-			r := experiments.TableIIHybrid(*samples)
+		"table2": func() error {
+			r, err := experiments.TableIIHybrid(*samples)
+			if err != nil {
+				return err
+			}
 			r.Render(os.Stdout)
 			writeCSV("table2", func(f *os.File) error { return figio.TableIICSV(f, r) })
+			return nil
 		},
-		"table3": func() { experiments.TableIIIComponents().Render(os.Stdout) },
-		"noise":  func() { experiments.NoiseResilience(*samples, *trials).Render(os.Stdout) },
-		"profile": func() {
-			r := experiments.PowerProfile(80)
+		"table3": func() error {
+			experiments.TableIIIComponents().Render(os.Stdout)
+			return nil
+		},
+		"noise": func() error {
+			r, err := experiments.NoiseResilience(*samples, *trials)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+			return nil
+		},
+		"profile": func() error {
+			r, err := experiments.PowerProfile(80)
+			if err != nil {
+				return err
+			}
 			r.Render(os.Stdout)
 			writeCSV("profile", func(f *os.File) error { return figio.ProfileCSV(f, r) })
+			return nil
 		},
-		"faults": func() {
-			r := experiments.FaultResilience(*samples/2+1, 60)
+		"faults": func() error {
+			r, err := experiments.FaultResilience(*samples/2+1, 60)
+			if err != nil {
+				return err
+			}
 			r.Render(os.Stdout)
 			writeCSV("faults", func(f *os.File) error { return figio.FaultCSV(f, r) })
+			return nil
 		},
-		"sensitivity": func() {
+		"sensitivity": func() error {
 			a := experiments.SensitivitySNNvsANN()
 			a.Render(os.Stdout)
 			writeCSV("sensitivity_snn_vs_ann", func(f *os.File) error { return figio.SensitivityCSV(f, a) })
 			b := experiments.SensitivityBaselines()
 			b.Render(os.Stdout)
 			writeCSV("sensitivity_baselines", func(f *os.File) error { return figio.SensitivityCSV(f, b) })
+			return nil
 		},
-		"ablations": func() {
+		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
 			experiments.AblationMembraneStorage().Render(os.Stdout)
 			experiments.AblationBitSerialInput().Render(os.Stdout)
 			experiments.AblationHybridSplit().Render(os.Stdout)
 			experiments.AblationISAACADCScaling().Render(os.Stdout)
+			return nil
 		},
 	}
 	order := []string{
@@ -152,7 +209,10 @@ func main() {
 			os.Exit(2)
 		}
 		start := time.Now()
-		run()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
 		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -1,0 +1,94 @@
+// Command nebula-lint runs the repository's custom static-analysis suite
+// (package repro/internal/lint) over the module and reports violations of
+// the simulator's determinism and robustness invariants.
+//
+// Usage:
+//
+//	nebula-lint ./...            # lint the whole module (from its root)
+//	nebula-lint -json ./...      # machine-readable report
+//	nebula-lint -suppressed ./...# also list suppressed findings
+//
+// Exit status is 0 when no unsuppressed error-severity findings exist,
+// 1 when the gate fails, and 2 on usage or load errors. Findings are
+// suppressed in source with:
+//
+//	//nebula:lint-ignore <rule> <reason>
+//
+// on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	showSuppressed := flag.Bool("suppressed", false, "also list suppressed findings")
+	flag.Parse()
+
+	// The only supported pattern is the whole module; accept "./..." (and
+	// no argument) so the invocation reads like go vet.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "all" {
+			fmt.Fprintf(os.Stderr, "nebula-lint: unsupported pattern %q (only ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "nebula-lint: type error (analysis continues): %v\n", te)
+		}
+	}
+
+	report := lint.NewReport(lint.Run(pkgs, lint.Analyzers()))
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		report.WriteHuman(os.Stdout, *showSuppressed)
+	}
+	if report.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -92,8 +92,9 @@ type Converted struct {
 
 // FoldBatchNorm returns a copy of net with every BatchNorm2D folded into
 // the preceding Conv2D, per §V-A ("Handling Batch-Normalization Layers").
-// Other layers are deep-copied unchanged.
-func FoldBatchNorm(net *nn.Network) *nn.Network {
+// Other layers are deep-copied unchanged. Networks containing layer types
+// the conversion pipeline does not support are rejected with an error.
+func FoldBatchNorm(net *nn.Network) (*nn.Network, error) {
 	src := net.Layers()
 	out := nn.NewNetwork(net.Name() + "-folded")
 	for i := 0; i < len(src); i++ {
@@ -104,9 +105,13 @@ func FoldBatchNorm(net *nn.Network) *nn.Network {
 				continue
 			}
 		}
-		out.Add(cloneLayer(src[i]))
+		clone, err := cloneLayer(src[i])
+		if err != nil {
+			return nil, err
+		}
+		out.Add(clone)
 	}
-	return out
+	return out, nil
 }
 
 // foldConvBN merges BN statistics into a cloned convolution:
@@ -143,21 +148,23 @@ func cloneLinear(src *nn.Linear) *nn.Linear {
 	return l
 }
 
-// cloneLayer deep-copies the layer types the conversion pipeline supports.
-func cloneLayer(l nn.Layer) nn.Layer {
+// cloneLayer deep-copies the layer types the conversion pipeline supports
+// and rejects anything else: an unknown layer is a caller input problem
+// (the network was built outside the supported zoo), not a simulator bug.
+func cloneLayer(l nn.Layer) (nn.Layer, error) {
 	switch v := l.(type) {
 	case *nn.Conv2D:
-		return cloneConv(v)
+		return cloneConv(v), nil
 	case *nn.Linear:
-		return cloneLinear(v)
+		return cloneLinear(v), nil
 	case *nn.ReLU:
-		return nn.NewClippedReLU(v.Name(), v.Clip)
+		return nn.NewClippedReLU(v.Name(), v.Clip), nil
 	case *nn.AvgPool2D:
-		return nn.NewAvgPool2D(v.Name(), v.K, v.Stride)
+		return nn.NewAvgPool2D(v.Name(), v.K, v.Stride), nil
 	case *nn.MaxPool2D:
-		return nn.NewMaxPool2D(v.Name(), v.K, v.Stride)
+		return nn.NewMaxPool2D(v.Name(), v.K, v.Stride), nil
 	case *nn.Flatten:
-		return nn.NewFlatten(v.Name())
+		return nn.NewFlatten(v.Name()), nil
 	case *nn.BatchNorm2D:
 		// Standalone BN (no preceding conv) cannot be folded; copy it.
 		bn := nn.NewBatchNorm2D(v.Name(), v.C)
@@ -165,9 +172,9 @@ func cloneLayer(l nn.Layer) nn.Layer {
 		copy(bn.Beta.Value.Data(), v.Beta.Value.Data())
 		copy(bn.RunningMean.Data(), v.RunningMean.Data())
 		copy(bn.RunningVar.Data(), v.RunningVar.Data())
-		return bn
+		return bn, nil
 	default:
-		panic(fmt.Sprintf("convert: cannot clone layer %s (%T)", l.Name(), l))
+		return nil, fmt.Errorf("convert: cannot clone layer %s (%T)", l.Name(), l)
 	}
 }
 
@@ -234,7 +241,10 @@ func buildStages(folded *nn.Network) ([]stage, error) {
 // Convert builds a rate-coded spiking network from a trained ANN using
 // data-based weight normalization on calibration images.
 func Convert(net *nn.Network, calib *dataset.Dataset, cfg Config) (*Converted, error) {
-	folded := FoldBatchNorm(net)
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		return nil, err
+	}
 	stages, err := buildStages(folded)
 	if err != nil {
 		return nil, err
@@ -457,6 +467,9 @@ func (c *Converted) cloneSNN() *snn.Network {
 		case *snn.Output:
 			layers[i] = snn.NewOutput(v.Name(), v.W, v.B)
 		default:
+			// Convert built this network from exactly the layer kinds above,
+			// so an unknown type here is simulator corruption, not input.
+			//nebula:lint-ignore panic-audit SNN layer set is closed under Convert; unknown type is an internal invariant violation
 			panic(fmt.Sprintf("convert: cannot clone SNN layer %T", l))
 		}
 	}
@@ -500,6 +513,9 @@ func (c *Converted) Correlation(data *dataset.Dataset, T, samples int, seed uint
 // vectors (0 when either is constant).
 func pearson(a, b []float64) float64 {
 	if len(a) != len(b) || len(a) == 0 {
+		// Both vectors come from the same stage of the same network, so a
+		// length mismatch can only be an internal indexing bug.
+		//nebula:lint-ignore panic-audit ANN and SNN maps of one stage always match; mismatch is an internal invariant violation
 		panic("convert: pearson length mismatch")
 	}
 	n := float64(len(a))

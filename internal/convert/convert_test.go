@@ -70,7 +70,10 @@ func TestFoldBatchNormRemovesBN(t *testing.T) {
 		}
 		net.Forward(x, true)
 	}
-	folded := FoldBatchNorm(net)
+	folded, err := FoldBatchNorm(net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range folded.Layers() {
 		if _, ok := l.(*nn.BatchNorm2D); ok {
 			t.Fatal("BN layer survived folding")
@@ -97,7 +100,9 @@ func TestFoldBatchNormDoesNotMutateSource(t *testing.T) {
 		nn.NewBatchNorm2D("bn", 2),
 	)
 	orig := net.Layers()[0].(*nn.Conv2D).Weight.Value.Clone()
-	FoldBatchNorm(net)
+	if _, err := FoldBatchNorm(net); err != nil {
+		t.Fatal(err)
+	}
 	now := net.Layers()[0].(*nn.Conv2D).Weight.Value
 	for i := range orig.Data() {
 		if orig.Data()[i] != now.Data()[i] {

@@ -1,0 +1,46 @@
+package convert
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEvaluateDeterministicAcrossRuns is the worker-pool regression test:
+// it runs the same multi-worker conversion twice and requires bitwise
+// identical results. Evaluate promises schedule independence (per-image
+// encoder RNGs derived up front, one result slot per worker, fixed
+// summation order); any data race or schedule-dependent accumulation
+// breaks the bitwise equality below, and under `go test -race` the race
+// detector flags the unsynchronized access directly.
+func TestEvaluateDeterministicAcrossRuns(t *testing.T) {
+	if old := runtime.GOMAXPROCS(0); old < 2 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	mlp, _, tr, te := fixtures(t)
+	conv, err := Convert(mlp, tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := conv.Evaluate(te, 40, 24, 17)
+	b := conv.Evaluate(te, 40, 24, 17)
+
+	if a.Accuracy != b.Accuracy {
+		t.Fatalf("accuracy differs across runs: %v vs %v", a.Accuracy, b.Accuracy)
+	}
+	if a.MeanInputRate != b.MeanInputRate {
+		t.Fatalf("input rate differs across runs: %v vs %v", a.MeanInputRate, b.MeanInputRate)
+	}
+	if a.Samples != b.Samples || a.Timesteps != b.Timesteps {
+		t.Fatalf("metadata differs: %+v vs %+v", a, b)
+	}
+	if len(a.MeanActivity) != len(b.MeanActivity) {
+		t.Fatalf("activity lengths differ: %d vs %d", len(a.MeanActivity), len(b.MeanActivity))
+	}
+	for i := range a.MeanActivity {
+		if a.MeanActivity[i] != b.MeanActivity[i] {
+			t.Fatalf("layer %d activity differs: %v vs %v", i, a.MeanActivity[i], b.MeanActivity[i])
+		}
+	}
+}

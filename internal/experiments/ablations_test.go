@@ -139,7 +139,13 @@ func TestFaultResilienceCurve(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a model and runs chip inference")
 	}
-	r := FaultResilience(16, 50)
+	if raceEnabled {
+		t.Skip("chip-level fault sweep exceeds the test timeout under the race detector")
+	}
+	r, err := FaultResilience(16, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Points) != 6 {
 		t.Fatalf("points %d", len(r.Points))
 	}

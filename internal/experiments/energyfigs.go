@@ -415,7 +415,7 @@ type NoiseResult struct {
 
 // NoiseResilience reproduces the §IV-D Monte-Carlo study on the scaled
 // VGG: 16-level quantized ANN and SNN accuracy with 10% weight noise.
-func NoiseResilience(samples, trials int) NoiseResult {
+func NoiseResilience(samples, trials int) (NoiseResult, error) {
 	spec := benchmarkSpec{"vgg13/cifar10-like", models.NewVGG13, dataset.CIFAR10Like, 6, 120}
 	tm := trainScaled(spec, 400, 150)
 	ranges := quant.Calibrate(tm.net, tm.trainDS, quant.DefaultCalibration())
@@ -428,7 +428,7 @@ func NoiseResilience(samples, trials int) NoiseResult {
 
 	conv, err := convert.Convert(qnet, tm.trainDS, convert.DefaultConfig())
 	if err != nil {
-		panic(err)
+		return NoiseResult{}, fmt.Errorf("noise: %w", err)
 	}
 	cleanSNN := conv.Evaluate(tm.testDS, tm.snnTimesteps, samples, Seed).Accuracy
 	// Noisy SNN: perturb the converted network's ANN source and reconvert.
@@ -440,7 +440,7 @@ func NoiseResilience(samples, trials int) NoiseResult {
 		restore := quant.PerturbWeights(pnet, 0.10, r.Split())
 		pconv, err := convert.Convert(pnet, tm.trainDS, convert.DefaultConfig())
 		if err != nil {
-			panic(err)
+			return NoiseResult{}, fmt.Errorf("noise: trial %d: %w", i, err)
 		}
 		noisySum += pconv.Evaluate(tm.testDS, tm.snnTimesteps, samples, Seed).Accuracy
 		restore()
@@ -449,7 +449,7 @@ func NoiseResilience(samples, trials int) NoiseResult {
 		Model: tm.name, Sigma: 0.10, Trials: trials,
 		CleanANN: cleanANN, NoisyANN: noisyANN,
 		CleanSNN: cleanSNN, NoisySNN: noisySum / float64(trials),
-	}
+	}, nil
 }
 
 // Render writes the noise study.

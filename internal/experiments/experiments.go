@@ -114,14 +114,14 @@ type Fig4Result struct {
 }
 
 // Fig4SpikingActivity measures layer-wise activity of the scaled VGG SNN.
-func Fig4SpikingActivity(samples int) Fig4Result {
+func Fig4SpikingActivity(samples int) (Fig4Result, error) {
 	tm := trainScaled(benchmarkSpec{"vgg13/cifar10-like", models.NewVGG13, dataset.CIFAR10Like, 6, 120}, 400, 120)
 	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 	if err != nil {
-		panic(err)
+		return Fig4Result{}, fmt.Errorf("fig4: %w", err)
 	}
 	res := conv.Evaluate(tm.testDS, tm.snnTimesteps, samples, Seed)
-	return Fig4Result{Model: tm.name, Activity: res.MeanActivity}
+	return Fig4Result{Model: tm.name, Activity: res.MeanActivity}, nil
 }
 
 // Render writes the activity series.
@@ -219,11 +219,11 @@ type Fig10Result struct {
 // Fig10Correlation reproduces the correlation-vs-depth analysis on the
 // scaled MobileNet (the paper's Fig. 10 model), at a short and a long
 // integration window.
-func Fig10Correlation(samples int) Fig10Result {
+func Fig10Correlation(samples int) (Fig10Result, error) {
 	tm := trainScaled(benchmarkSpec{"mobilenet-v1/cifar10-like", models.NewMobileNetV1, dataset.CIFAR10Like, 6, 0}, 400, 120)
 	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 	if err != nil {
-		panic(err)
+		return Fig10Result{}, fmt.Errorf("fig10: %w", err)
 	}
 	shortT, longT := 60, 300
 	return Fig10Result{
@@ -232,7 +232,7 @@ func Fig10Correlation(samples int) Fig10Result {
 		LongT:      longT,
 		CorrShortT: conv.Correlation(tm.testDS, shortT, samples, Seed),
 		CorrLongT:  conv.Correlation(tm.testDS, longT, samples, Seed),
-	}
+	}, nil
 }
 
 // Render writes the correlation series.
@@ -264,14 +264,14 @@ type TableIResult struct {
 
 // TableIConversion trains every scaled benchmark, converts it and
 // measures ANN vs SNN accuracy (the Table I protocol at laptop scale).
-func TableIConversion(samples int) TableIResult {
+func TableIConversion(samples int) (TableIResult, error) {
 	var out TableIResult
 	for _, spec := range scaledBenchmarks() {
 		tm := trainScaled(spec, 400, 150)
 		annAcc := train.Evaluate(tm.net, tm.testDS, 32)
 		conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 		if err != nil {
-			panic(fmt.Sprintf("%s: %v", spec.name, err))
+			return TableIResult{}, fmt.Errorf("table1: %s: %w", spec.name, err)
 		}
 		res := conv.Evaluate(tm.testDS, tm.snnTimesteps, samples, Seed)
 		out.Rows = append(out.Rows, TableIRow{
@@ -282,7 +282,7 @@ func TableIConversion(samples int) TableIResult {
 			Depth:       len(tm.net.Layers()),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Render writes the Table I rows.
@@ -315,7 +315,7 @@ type TableIIResult struct {
 // TableIIHybrid reproduces the Table II sweep on the scaled VGG and SVHN
 // models: pure SNN at the full window, then hybrids with more non-spiking
 // layers at progressively shorter windows.
-func TableIIHybrid(samples int) TableIIResult {
+func TableIIHybrid(samples int) (TableIIResult, error) {
 	var out TableIIResult
 	for _, spec := range []benchmarkSpec{
 		{"vgg13/cifar10-like", models.NewVGG13, dataset.CIFAR10Like, 6, 120},
@@ -324,7 +324,7 @@ func TableIIHybrid(samples int) TableIIResult {
 		tm := trainScaled(spec, 400, 150)
 		conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 		if err != nil {
-			panic(err)
+			return TableIIResult{}, fmt.Errorf("table2: %s: %w", spec.name, err)
 		}
 		full := conv.Evaluate(tm.testDS, tm.snnTimesteps, samples, Seed)
 		out.Rows = append(out.Rows, TableIIRow{tm.name, "SNN", tm.snnTimesteps, full.Accuracy})
@@ -341,7 +341,7 @@ func TableIIHybrid(samples int) TableIIResult {
 			out.Rows = append(out.Rows, TableIIRow{tm.name, fmt.Sprintf("Hyb-%d", p.k), p.T, acc})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Render writes the Table II rows.

@@ -179,7 +179,13 @@ func TestTableIConversionSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains six models")
 	}
-	r := TableIConversion(12)
+	if raceEnabled {
+		t.Skip("training six models exceeds the test timeout under the race detector")
+	}
+	r, err := TableIConversion(12)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Rows) != 6 {
 		t.Fatalf("rows %d", len(r.Rows))
 	}
@@ -202,7 +208,13 @@ func TestFig4ActivityDecays(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains VGG")
 	}
-	r := Fig4SpikingActivity(8)
+	if raceEnabled {
+		t.Skip("training VGG exceeds the test timeout under the race detector")
+	}
+	r, err := Fig4SpikingActivity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Activity) < 4 {
 		t.Fatalf("activity entries %d", len(r.Activity))
 	}

@@ -30,11 +30,11 @@ type FaultResilienceResult struct {
 
 // FaultResilience trains the scaled MLP, lowers it onto the chip and
 // sweeps stuck-at-AP fault rates.
-func FaultResilience(samples, timesteps int) FaultResilienceResult {
+func FaultResilience(samples, timesteps int) (FaultResilienceResult, error) {
 	tm := trainScaled(benchmarkSpec{"mlp3/mnist-like", models.NewMLP3, dataset.MNISTLike, 8, 0}, 400, 120)
 	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 	if err != nil {
-		panic(err)
+		return FaultResilienceResult{}, fmt.Errorf("faults: %w", err)
 	}
 	res := FaultResilienceResult{Model: tm.name}
 	for _, rate := range []float64{0, 0.005, 0.01, 0.05, 0.10, 0.20} {
@@ -46,7 +46,7 @@ func FaultResilience(samples, timesteps int) FaultResilienceResult {
 			img, label := tm.testDS.Sample(i)
 			run, err := chip.RunSNN(conv, img, timesteps, snn.NewPoissonEncoder(1.0, r.Split()))
 			if err != nil {
-				panic(err)
+				return FaultResilienceResult{}, fmt.Errorf("faults: rate %g sample %d: %w", rate, i, err)
 			}
 			if run.Prediction == label {
 				correct++
@@ -57,7 +57,7 @@ func FaultResilience(samples, timesteps int) FaultResilienceResult {
 			Accuracy:  float64(correct) / float64(samples),
 		})
 	}
-	return res
+	return res, nil
 }
 
 // Render writes the fault curve.

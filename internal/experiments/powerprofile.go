@@ -29,15 +29,15 @@ type PowerProfileResult struct {
 
 // PowerProfile trains the scaled LeNet, records a spike trace of one test
 // image and replays it through the energy model.
-func PowerProfile(T int) PowerProfileResult {
+func PowerProfile(T int) (PowerProfileResult, error) {
 	tm := trainScaled(benchmarkSpec{"lenet5/mnist-like", models.NewLeNet5, dataset.MNISTLike, 6, 0}, 300, 80)
 	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
 	if err != nil {
-		panic(err)
+		return PowerProfileResult{}, fmt.Errorf("profile: %w", err)
 	}
 	w, err := models.FromNetwork("lenet5-scaled", tm.net, 1, 16, 16)
 	if err != nil {
-		panic(err)
+		return PowerProfileResult{}, fmt.Errorf("profile: %w", err)
 	}
 	img, label := tm.testDS.Sample(0)
 	res, tr := conv.SNN.RunTraced(img, T, snn.NewPoissonEncoder(1.0, rng.New(Seed)))
@@ -46,7 +46,7 @@ func PowerProfile(T int) PowerProfileResult {
 	m.SNNParallelism = 1
 	rep, err := replay.Replay(m, w, tr)
 	if err != nil {
-		panic(err)
+		return PowerProfileResult{}, fmt.Errorf("profile: %w", err)
 	}
 	return PowerProfileResult{
 		Model: tm.name, Timesteps: T,
@@ -56,7 +56,7 @@ func PowerProfile(T int) PowerProfileResult {
 		EnergyJ:        rep.EnergyJ,
 		Prediction:     res.Predict(),
 		Label:          label,
-	}
+	}, nil
 }
 
 // Render writes the profile.

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Training the benchmark models is 10-20x slower under race
+// instrumentation and exceeds the package test timeout, so the heavy
+// trained-model tests skip themselves; the race run still covers every
+// analytic experiment and the concurrency-sensitive packages directly.
+const raceEnabled = true

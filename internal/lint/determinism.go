@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DeterminismAnalyzer enforces the repository's reproducibility rule: all
+// randomness inside internal/ flows through the seeded internal/rng
+// package, and simulation code never reads the wall clock. The paper's
+// accuracy and energy tables depend on seeded stochastic spike trains and
+// device variation, so a stray math/rand or time.Now() silently breaks
+// bit-for-bit replay of every experiment.
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "determinism",
+		Doc:      "forbid math/rand and wall-clock reads in internal/ outside internal/rng",
+		Severity: SeverityError,
+		Run:      runDeterminism,
+	}
+}
+
+// forbiddenClockFuncs are time-package functions that read the wall clock.
+var forbiddenClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runDeterminism(p *Package) []Finding {
+	if !pathIsInternal(p.Path) || strings.HasSuffix(p.Path, "/internal/rng") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, findingAt(p.Fset, imp.Pos(),
+					"import of "+path+" in internal package; use the seeded repro/internal/rng instead"))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isFunc := obj.(*types.Func); !isFunc || !forbiddenClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, findingAt(p.Fset, sel.Pos(),
+				"time."+sel.Sel.Name+" reads the wall clock in a simulation package; thread an explicit timestamp or counter instead"))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminismFlagsMathRandAndWallClock(t *testing.T) {
+	src := `package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() float64 {
+	return rand.Float64() * float64(time.Now().UnixNano())
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+`
+	active, _ := partition(runFixture(t, DeterminismAnalyzer(), "repro/internal/sim", src))
+	if len(active) != 3 {
+		t.Fatalf("findings %d, want 3 (import, time.Now, time.Since): %+v", len(active), active)
+	}
+	if !strings.Contains(active[0].Message, "math/rand") {
+		t.Fatalf("first finding should be the import: %s", active[0].Message)
+	}
+}
+
+func TestDeterminismSuppressedFinding(t *testing.T) {
+	src := `package sim
+
+import "time"
+
+func LogStamp() int64 {
+	//nebula:lint-ignore determinism log timestamps never feed simulation state
+	return time.Now().UnixNano()
+}
+`
+	active, suppressed := partition(runFixture(t, DeterminismAnalyzer(), "repro/internal/sim", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1", len(active), len(suppressed))
+	}
+	if suppressed[0].SuppressReason != "log timestamps never feed simulation state" {
+		t.Fatalf("reason %q", suppressed[0].SuppressReason)
+	}
+}
+
+func TestDeterminismExemptPackages(t *testing.T) {
+	src := `package rng
+
+import "math/rand"
+
+func Seed() int64 { return rand.Int63() }
+`
+	// internal/rng itself is the sanctioned home of randomness.
+	if fs := runFixture(t, DeterminismAnalyzer(), "repro/internal/rng", src); len(fs) != 0 {
+		t.Fatalf("internal/rng should be exempt, got %+v", fs)
+	}
+	// Packages outside internal/ (cmd, examples) are not covered.
+	if fs := runFixture(t, DeterminismAnalyzer(), "repro/cmd/bench", src); len(fs) != 0 {
+		t.Fatalf("cmd/ should be exempt, got %+v", fs)
+	}
+	// time.Time values and non-clock time functions are fine.
+	okSrc := `package sim
+
+import "time"
+
+func Window() time.Duration { return 5 * time.Millisecond }
+`
+	if fs := runFixture(t, DeterminismAnalyzer(), "repro/internal/sim", okSrc); len(fs) != 0 {
+		t.Fatalf("duration arithmetic should pass, got %+v", fs)
+	}
+}

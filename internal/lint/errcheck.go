@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer flags statements in cmd/ and internal/ that call a
+// function returning an error and drop the result on the floor. An
+// explicit `_ =` assignment is treated as an intentional, visible discard
+// and is not flagged; neither are deferred calls (the deferred-Close
+// idiom) or go statements. A small whitelist covers calls that cannot
+// meaningfully fail: the fmt print family and the in-memory writers
+// bytes.Buffer / strings.Builder, whose error results are documented to
+// be always nil.
+func ErrcheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "errcheck",
+		Doc:      "flag discarded error returns in cmd/ and internal/",
+		Severity: SeverityError,
+		Run:      runErrcheck,
+	}
+}
+
+func runErrcheck(p *Package) []Finding {
+	if !pathIsInternal(p.Path) && !pathIsCmd(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, drops := dropsError(p, call); drops && !errWhitelisted(p, call) {
+				out = append(out, findingAt(p.Fset, call.Pos(),
+					name+" returns an error that is discarded; handle it or assign to _ explicitly"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// dropsError reports whether the call returns at least one error that the
+// enclosing expression statement discards, plus a printable callee name.
+func dropsError(p *Package, call *ast.CallExpr) (string, bool) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return "", false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return "", false // conversion or builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return calleeName(call), true
+		}
+	}
+	return "", false
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// errWhitelisted reports whether the callee's error result is documented
+// to always be nil (fmt printing, in-memory writers).
+func errWhitelisted(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level fmt.Print / Printf / Println / Fprint* calls.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := p.Info.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			return strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")
+		}
+	}
+	// Methods on *bytes.Buffer and *strings.Builder.
+	if selInfo, ok := p.Info.Selections[sel]; ok {
+		recv := selInfo.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok && named.Obj().Pkg() != nil {
+			full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if full == "bytes.Buffer" || full == "strings.Builder" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for the finding message.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+func TestErrcheckFlagsDiscardedErrors(t *testing.T) {
+	src := `package modelio
+
+import "os"
+
+func Cleanup(path string) {
+	os.Remove(path)
+}
+
+func save(f *os.File, data []byte) {
+	f.Write(data)
+	f.Close()
+}
+`
+	active, _ := partition(runFixture(t, ErrcheckAnalyzer(), "repro/internal/modelio", src))
+	if len(active) != 3 {
+		t.Fatalf("findings %d, want 3 (Remove, Write, Close): %+v", len(active), active)
+	}
+}
+
+func TestErrcheckAllowedForms(t *testing.T) {
+	src := `package modelio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func report(f *os.File) error {
+	var b bytes.Buffer
+	var sb strings.Builder
+	fmt.Fprintf(&b, "header\n") // fmt printing: error is plumbing
+	b.WriteString("body")       // bytes.Buffer never fails
+	sb.WriteString("tail")      // strings.Builder never fails
+	fmt.Println(b.String(), sb.String())
+	_ = f.Sync()       // explicit discard is visible and intentional
+	defer f.Close()    // deferred cleanup idiom
+	return f.Close()   // handled
+}
+`
+	if fs := runFixture(t, ErrcheckAnalyzer(), "repro/internal/modelio", src); len(fs) != 0 {
+		t.Fatalf("allowed forms should pass, got %+v", fs)
+	}
+	// Packages outside cmd/ and internal/ are out of scope.
+	outSrc := `package examples
+
+import "os"
+
+func sloppy() { os.Remove("x") }
+`
+	if fs := runFixture(t, ErrcheckAnalyzer(), "repro/examples/demo", outSrc); len(fs) != 0 {
+		t.Fatalf("examples/ should be exempt, got %+v", fs)
+	}
+}
+
+func TestErrcheckSuppressedFinding(t *testing.T) {
+	src := `package modelio
+
+import "os"
+
+func BestEffortCleanup(path string) {
+	//nebula:lint-ignore errcheck best-effort temp file removal
+	os.Remove(path)
+}
+`
+	active, suppressed := partition(runFixture(t, ErrcheckAnalyzer(), "repro/internal/modelio", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1", len(active), len(suppressed))
+	}
+}

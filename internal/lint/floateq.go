@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands.
+// Accumulated rounding error makes exact equality between computed floats
+// order-sensitive, which breaks when evaluation order changes (e.g. a
+// worker count changes the reduction order) — the same class of bug the
+// determinism rule exists to prevent. Comparisons where one side is an
+// exact zero literal are allowed: zero is exactly representable and such
+// comparisons are the conventional divide-by-zero / dead-stage guards.
+// Test files are not checked.
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "float-eq",
+		Doc:      "flag ==/!= between floating-point operands (zero-literal guards exempt)",
+		Severity: SeverityError,
+		Run:      runFloatEq,
+	}
+}
+
+func runFloatEq(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if !typeIsFloat(xt.Type) && !typeIsFloat(yt.Type) {
+				return true
+			}
+			if isExactZero(xt) || isExactZero(yt) {
+				return true
+			}
+			out = append(out, findingAt(p.Fset, be.OpPos,
+				"floating-point "+be.Op.String()+" comparison; use an epsilon or restructure (exact equality is rounding-order dependent)"))
+			return true
+		})
+	}
+	return out
+}
+
+// isExactZero reports whether the operand is a compile-time constant equal
+// to zero (exactly representable, so == 0 guards are sound).
+func isExactZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() != constant.Float {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return f == 0
+}

@@ -1,0 +1,55 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFlagsComparisons(t *testing.T) {
+	src := `package sim
+
+func Converged(a, b float64) bool { return a == b }
+
+func Mismatch(x float32, y float32) bool { return x != y }
+
+func AgainstConstant(rate float64) bool { return rate == 0.5 }
+`
+	active, _ := partition(runFixture(t, FloatEqAnalyzer(), "repro/internal/sim", src))
+	if len(active) != 3 {
+		t.Fatalf("findings %d, want 3: %+v", len(active), active)
+	}
+}
+
+func TestFloatEqZeroGuardAndIntsExempt(t *testing.T) {
+	src := `package sim
+
+func Guard(variance float64) float64 {
+	if variance == 0 {
+		return 1
+	}
+	if 0.0 != variance {
+		return variance
+	}
+	return variance
+}
+
+func Ints(a, b int) bool { return a == b }
+`
+	if fs := runFixture(t, FloatEqAnalyzer(), "repro/internal/sim", src); len(fs) != 0 {
+		t.Fatalf("zero guards and int comparisons should pass, got %+v", fs)
+	}
+}
+
+func TestFloatEqSuppressedFinding(t *testing.T) {
+	src := `package sim
+
+// Sentinel is an exact bit-pattern flag, never computed.
+const Sentinel = 2.0
+
+func IsSentinel(v float64) bool {
+	//nebula:lint-ignore float-eq sentinel is assigned, never accumulated
+	return v == Sentinel
+}
+`
+	active, suppressed := partition(runFixture(t, FloatEqAnalyzer(), "repro/internal/sim", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1: %+v", len(active), len(suppressed), active)
+	}
+}

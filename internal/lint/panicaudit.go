@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// PanicAuditAnalyzer reports panic calls in library (non-main) packages.
+// A library panic turns a recoverable input problem into a process kill
+// for every caller, so new ones should be error returns. Recognized
+// invariant-violation forms are allowed without annotation:
+//
+//   - panics inside functions named Must* / must* (the conventional
+//     panic-on-error wrappers);
+//   - panics whose message (string literal, named string constant, or
+//     fmt.Sprintf format) names an internal contract: it contains
+//     "invariant", "unreachable", "internal error", "corrupt", or
+//     "must " / "must:" phrasing;
+//   - re-panics of a recovered value (panic(r) inside a recover branch is
+//     matched textually as panic of a bare identifier assigned from
+//     recover()).
+//
+// Everything else is reported at warning severity — the tool emits a
+// ranked per-package report rather than failing the gate — so the
+// inventory stays visible while conversions to error returns proceed
+// incrementally. Individual sites that are genuine invariant checks but
+// do not match the recognized forms should be annotated:
+//
+//	//nebula:lint-ignore panic-audit <why this is an invariant>
+func PanicAuditAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "panic-audit",
+		Doc:      "rank panic sites in library packages; recognized invariant forms exempt",
+		Severity: SeverityWarning,
+		Run:      runPanicAudit,
+	}
+}
+
+// invariantMarkers are message fragments that mark a panic as an
+// intentional internal-contract check.
+var invariantMarkers = []string{
+	"invariant", "unreachable", "internal error", "corrupt", "must ", "must:",
+}
+
+func runPanicAudit(p *Package) []Finding {
+	if p.IsMain() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		// Track the enclosing function name while walking.
+		var walk func(n ast.Node, fn string)
+		walk = func(n ast.Node, fn string) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					if v.Body != nil {
+						walk(v.Body, v.Name.Name)
+					}
+					return false
+				case *ast.CallExpr:
+					id, ok := v.Fun.(*ast.Ident)
+					if !ok || id.Name != "panic" || len(v.Args) != 1 {
+						return true
+					}
+					if obj := p.Info.Uses[id]; obj != nil && obj != types.Universe.Lookup("panic") {
+						// A locally shadowed panic, not the builtin.
+						return true
+					}
+					if strings.HasPrefix(strings.ToLower(fn), "must") {
+						return true
+					}
+					if msg, ok := panicMessage(p, v.Args[0]); ok && isInvariantMessage(msg) {
+						return true
+					}
+					if isRecoveredValue(p, file, v.Args[0]) {
+						return true
+					}
+					out = append(out, findingAt(p.Fset, v.Pos(),
+						"panic in library package (func "+fn+"); return an error for recoverable conditions or annotate the invariant"))
+					return true
+				}
+				return true
+			})
+		}
+		walk(file, "")
+	}
+	return out
+}
+
+// panicMessage extracts the static message of a panic argument: a string
+// constant, or the format string of a fmt.Sprintf/fmt.Errorf call.
+func panicMessage(p *Package, arg ast.Expr) (string, bool) {
+	if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "fmt" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Errorf", "Sprint":
+	default:
+		return "", false
+	}
+	if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// isInvariantMessage reports whether a panic message names an internal
+// contract rather than a user-facing input problem.
+func isInvariantMessage(msg string) bool {
+	lower := strings.ToLower(msg)
+	for _, marker := range invariantMarkers {
+		if strings.Contains(lower, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRecoveredValue reports whether arg is a bare identifier that was
+// assigned from recover() somewhere in the same file (the re-panic idiom
+// inside a deferred handler).
+func isRecoveredValue(p *Package, file *ast.File, arg ast.Expr) bool {
+	id, ok := arg.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || p.Info.Defs[lid] != obj && p.Info.Uses[lid] != obj {
+				continue
+			}
+			if i < len(as.Rhs) {
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+					if cid, ok := call.Fun.(*ast.Ident); ok && cid.Name == "recover" {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,93 @@
+package lint
+
+import "testing"
+
+func TestPanicAuditFlagsRecoverablePanics(t *testing.T) {
+	src := `package compiler
+
+import "fmt"
+
+func Lower(name string) int {
+	if name == "" {
+		panic("compiler: empty layer name")
+	}
+	if len(name) > 64 {
+		panic(fmt.Sprintf("compiler: name %q too long", name))
+	}
+	return len(name)
+}
+`
+	active, _ := partition(runFixture(t, PanicAuditAnalyzer(), "repro/internal/compiler", src))
+	if len(active) != 2 {
+		t.Fatalf("findings %d, want 2: %+v", len(active), active)
+	}
+	for _, f := range active {
+		if f.Severity != SeverityWarning {
+			t.Fatalf("panic-audit must report warnings, got %v", f.Severity)
+		}
+	}
+}
+
+func TestPanicAuditRecognizedInvariantForms(t *testing.T) {
+	src := `package compiler
+
+import "fmt"
+
+func MustLower(name string) int {
+	if name == "" {
+		panic("empty name") // Must* helpers may panic
+	}
+	return len(name)
+}
+
+func step(state int) {
+	switch state {
+	case 0, 1:
+	default:
+		panic(fmt.Sprintf("compiler: unreachable state %d", state))
+	}
+}
+
+func check(ok bool) {
+	if !ok {
+		panic("compiler: schedule invariant violated")
+	}
+}
+
+func guarded() {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r) // re-panic after cleanup
+		}
+	}()
+}
+`
+	if fs := runFixture(t, PanicAuditAnalyzer(), "repro/internal/compiler", src); len(fs) != 0 {
+		t.Fatalf("recognized invariant forms should pass, got %+v", fs)
+	}
+	// Commands may panic freely (flag handling exits anyway).
+	mainSrc := `package main
+
+func main() { panic("boom") }
+`
+	if fs := runFixture(t, PanicAuditAnalyzer(), "repro/cmd/tool", mainSrc); len(fs) != 0 {
+		t.Fatalf("package main should be exempt, got %+v", fs)
+	}
+}
+
+func TestPanicAuditSuppressedFinding(t *testing.T) {
+	src := `package compiler
+
+func divide(a, b int) int {
+	if b == 0 {
+		//nebula:lint-ignore panic-audit caller pre-validates divisor
+		panic("compiler: zero divisor")
+	}
+	return a / b
+}
+`
+	active, suppressed := partition(runFixture(t, PanicAuditAnalyzer(), "repro/internal/compiler", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1", len(active), len(suppressed))
+	}
+}

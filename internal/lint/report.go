@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is the machine-readable output of one lint run.
+type Report struct {
+	// Findings holds every diagnostic, including suppressed ones.
+	Findings []Finding `json:"findings"`
+	// Errors is the number of unsuppressed error-severity findings (the
+	// gate fails when it is non-zero).
+	Errors int `json:"errors"`
+	// Warnings is the number of unsuppressed warning-severity findings.
+	Warnings int `json:"warnings"`
+	// Suppressed is the number of findings covered by ignore directives.
+	Suppressed int `json:"suppressed"`
+}
+
+// NewReport tallies findings into a Report.
+func NewReport(findings []Finding) Report {
+	r := Report{Findings: findings}
+	for _, f := range findings {
+		switch {
+		case f.Suppressed:
+			r.Suppressed++
+		case f.Severity == SeverityError:
+			r.Errors++
+		default:
+			r.Warnings++
+		}
+	}
+	return r
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteHuman emits the report for terminals: one line per active finding,
+// then the ranked panic-audit inventory, then a one-line summary.
+// showSuppressed additionally lists suppressed findings with their
+// justifications.
+func (r Report) WriteHuman(w io.Writer, showSuppressed bool) {
+	panicPerPkg := map[string]int{}
+	for _, f := range r.Findings {
+		if f.Rule == "panic-audit" && !f.Suppressed {
+			panicPerPkg[f.Package]++
+		}
+		if f.Suppressed {
+			if showSuppressed {
+				fmt.Fprintf(w, "%s: [%s] suppressed (%s): %s\n", f.Position(), f.Rule, f.SuppressReason, f.Message)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s: [%s] %s: %s\n", f.Position(), f.Rule, f.Severity, f.Message)
+	}
+	if len(panicPerPkg) > 0 {
+		fmt.Fprintf(w, "\npanic-audit ranking (unannotated library panics per package):\n")
+		type row struct {
+			pkg string
+			n   int
+		}
+		rows := make([]row, 0, len(panicPerPkg))
+		for pkg, n := range panicPerPkg {
+			rows = append(rows, row{pkg, n})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].n != rows[j].n {
+				return rows[i].n > rows[j].n
+			}
+			return rows[i].pkg < rows[j].pkg
+		})
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %4d  %s\n", r.n, r.pkg)
+		}
+	}
+	fmt.Fprintf(w, "\nnebula-lint: %d error(s), %d warning(s), %d suppressed\n",
+		r.Errors, r.Warnings, r.Suppressed)
+}

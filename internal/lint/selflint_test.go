@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfLint loads the entire module through the real loader and runs
+// the full suite: the tree must stay free of unsuppressed error-severity
+// findings, which is the same gate cmd/nebula-lint enforces in CI.
+func TestSelfLint(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.Module != "repro" {
+		t.Fatalf("module %q, want repro", loader.Module)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing directories", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, te := range p.TypeErrors {
+			t.Errorf("%s: type error: %v", p.Path, te)
+		}
+	}
+	report := NewReport(Run(pkgs, Analyzers()))
+	if report.Errors > 0 {
+		var b bytes.Buffer
+		report.WriteHuman(&b, false)
+		t.Fatalf("repository violates lint invariants:\n%s", b.String())
+	}
+	// The JSON path must stay encodable for tooling.
+	var b bytes.Buffer
+	if err := report.WriteJSON(&b); err != nil {
+		t.Fatalf("JSON encoding: %v", err)
+	}
+}

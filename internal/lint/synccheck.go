@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncAnalyzer catches the two sync-package misuse patterns that have
+// bitten simulator worker pools:
+//
+//   - wg.Add called inside the goroutine the WaitGroup is waiting for.
+//     If the spawning loop reaches wg.Wait before the scheduler runs the
+//     new goroutine, Wait observes a zero counter and returns early — the
+//     classic lost-worker race. Add must happen before the go statement.
+//   - sync.Mutex / RWMutex / WaitGroup / Once / Cond / Pool / Map passed,
+//     returned or assigned by value. A copied lock guards nothing, and
+//     copying a WaitGroup forks its counter; both misbehave only under
+//     load. Flagged forms: bare (non-pointer) parameters and results, and
+//     value assignments between variables of these types.
+func SyncAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "sync",
+		Doc:      "flag wg.Add inside spawned goroutines and by-value copies of sync types",
+		Severity: SeverityError,
+		Run:      runSync,
+	}
+}
+
+func runSync(p *Package) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.GoStmt:
+				if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, findAddInsideGoroutine(p, fl)...)
+				}
+			case *ast.FuncDecl:
+				out = append(out, checkSyncValueParams(p, v.Type)...)
+			case *ast.FuncLit:
+				out = append(out, checkSyncValueParams(p, v.Type)...)
+			case *ast.AssignStmt:
+				out = append(out, checkSyncValueAssign(p, v)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// findAddInsideGoroutine reports wg.Add calls lexically inside a goroutine
+// body (nested go statements are checked when the walker reaches them).
+func findAddInsideGoroutine(p *Package, fl *ast.FuncLit) []Finding {
+	var out []Finding
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		tv, ok := p.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if namedSyncType(t) != "WaitGroup" {
+			return true
+		}
+		out = append(out, findingAt(p.Fset, call.Pos(),
+			"WaitGroup.Add inside the spawned goroutine; call Add before the go statement so Wait cannot observe a zero counter"))
+		return true
+	})
+	return out
+}
+
+// checkSyncValueParams flags bare sync-type parameters and results.
+func checkSyncValueParams(p *Package, ft *ast.FuncType) []Finding {
+	var out []Finding
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if name := namedSyncType(tv.Type); name != "" {
+				out = append(out, findingAt(p.Fset, field.Type.Pos(),
+					"sync."+name+" "+kind+" passed by value copies its internal state; use a pointer"))
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+	return out
+}
+
+// checkSyncValueAssign flags `a := b` / `a = b` where the right-hand side
+// is a sync-type value read from another variable or field (composite
+// literals initializing a fresh zero value are fine).
+func checkSyncValueAssign(p *Package, as *ast.AssignStmt) []Finding {
+	var out []Finding
+	for i, rhs := range as.Rhs {
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue // literals, calls, etc. construct new values
+		}
+		if i < len(as.Lhs) {
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+				continue // blank discard does not produce a usable copy
+			}
+		}
+		tv, ok := p.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if name := namedSyncType(tv.Type); name != "" {
+			out = append(out, findingAt(p.Fset, rhs.Pos(),
+				"assignment copies a sync."+name+" by value; take a pointer to the original"))
+		}
+	}
+	return out
+}

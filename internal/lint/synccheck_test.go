@@ -1,0 +1,90 @@
+package lint
+
+import "testing"
+
+func TestSyncFlagsAddInsideGoroutineAndValueCopies(t *testing.T) {
+	src := `package pool
+
+import "sync"
+
+func Spawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1) // racy: Wait may run before the scheduler gets here
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func TakeLock(mu sync.Mutex) { // bare parameter: copies the lock
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func Fork(wg sync.WaitGroup) sync.WaitGroup { // parameter and result
+	return wg
+}
+
+func Alias(mu *sync.Mutex) {
+	local := *mu // value assignment copies lock state
+	local.Lock()
+}
+`
+	active, _ := partition(runFixture(t, SyncAnalyzer(), "repro/internal/pool", src))
+	if len(active) != 5 {
+		t.Fatalf("findings %d, want 5 (Add-in-goroutine, 3 bare params/results, 1 copy): %+v", len(active), active)
+	}
+}
+
+func TestSyncCorrectPoolShapePasses(t *testing.T) {
+	src := `package pool
+
+import "sync"
+
+func Spawn(n int) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			total += i
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+func WithPtr(wg *sync.WaitGroup, mu *sync.Mutex) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+	}()
+}
+`
+	if fs := runFixture(t, SyncAnalyzer(), "repro/internal/pool", src); len(fs) != 0 {
+		t.Fatalf("correct pool shape should pass, got %+v", fs)
+	}
+}
+
+func TestSyncSuppressedFinding(t *testing.T) {
+	src := `package pool
+
+import "sync"
+
+func Snapshot(o sync.Once) bool { //nebula:lint-ignore sync diagnostic read of a settled Once
+	_ = o
+	return true
+}
+`
+	active, suppressed := partition(runFixture(t, SyncAnalyzer(), "repro/internal/pool", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1: %+v", len(active), len(suppressed), active)
+	}
+}

@@ -10,6 +10,18 @@
 // recommended by its authors. Generators can be split into independent
 // streams with Split, which is how parallel workers obtain decorrelated
 // randomness without sharing state.
+//
+// # Concurrency
+//
+// A Rand is not safe for concurrent use and is never locked. Concurrent
+// code must follow the per-goroutine-stream rule: the parent goroutine
+// calls Split once per worker, in a fixed order, before spawning, and
+// hands each worker its own stream. Because Split is deterministic, the
+// set of streams depends only on the seed and the split order — never on
+// goroutine scheduling — so concurrent runs reproduce single-threaded
+// runs bit for bit. Sharing one Rand across goroutines, or splitting
+// from inside workers in completion order, breaks both the race-freedom
+// and the reproducibility guarantee.
 package rng
 
 import "math"
