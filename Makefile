@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt-check verify
+.PHONY: build test race lint fmt-check smoke verify
 
 build:
 	$(GO) build ./...
@@ -21,4 +21,9 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/nebula-lint ./...
 
-verify: build fmt-check lint test race
+# Fast reliability smoke: the full three-curve fault study at tiny scale
+# (injection, BIST, write-verify, sparing, degradation accounting).
+smoke:
+	$(GO) test ./internal/experiments -run TestFaultResilienceSmoke -count=1
+
+verify: build fmt-check lint test race smoke

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/reliability"
 )
 
 // discard renders a result to devnull so rendering code is exercised too.
@@ -275,6 +276,9 @@ func BenchmarkFaultResilience(b *testing.B) {
 			b.Fatal(err)
 		}
 		discard(r)
-		b.ReportMetric(r.Points[0].Accuracy-r.Points[len(r.Points)-1].Accuracy, "acc_drop_at_20pct")
+		none := r.Curve(reliability.ProtectNone).Points
+		b.ReportMetric(none[0].Accuracy-none[len(none)-1].Accuracy, "acc_drop_at_20pct")
+		sr := r.Curve(reliability.ProtectSpareRemap).Points
+		b.ReportMetric(none[0].Accuracy-sr[3].Accuracy, "protected_gap_at_5pct")
 	}
 }

@@ -13,11 +13,14 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/arch"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/crossbar"
 	"repro/internal/mapping"
 	"repro/internal/models"
 	"repro/internal/placement"
+	"repro/internal/reliability"
 )
 
 func workloads() map[string]models.Workload {
@@ -36,6 +39,10 @@ func main() {
 	schedule := flag.Bool("schedule", false, "print the compiled per-core configuration")
 	traffic := flag.Bool("traffic", false, "simulate routed NoC traffic for one inference")
 	meshSize := flag.Int("mesh", 14, "mesh dimension for placement (default 14×14)")
+	health := flag.Bool("health", false, "run the chip-scale BIST health scan over the mapped workload")
+	faultRate := flag.Float64("faultrate", 0.05, "device fault rate for -health (lines at rate/20)")
+	protection := flag.String("protection", "spare", "protection level for -health: none|verify|spare")
+	healthSeed := flag.Uint64("health-seed", 2020, "chip seed for -health (totals are deterministic per seed)")
 	flag.Parse()
 
 	ws := workloads()
@@ -57,6 +64,26 @@ func main() {
 	}
 
 	sim := core.New()
+
+	if *health {
+		prot, err := reliability.ParseProtection(*protection)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-sim: %v\n", err)
+			os.Exit(2)
+		}
+		rel := reliability.StudyConfig(*faultRate, prot)
+		np := mapping.MapWorkload(w)
+		fmt.Printf("BIST health scan: %s, device fault rate %.4f, protection %s, seed %d\n",
+			w.Name, *faultRate, prot, *healthSeed)
+		rpt, err := arch.HealthScan(np, sim.Device, crossbar.Config{}, rel, *healthSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-sim: health scan: %v\n", err)
+			os.Exit(1)
+		}
+		rpt.Render(os.Stdout)
+		return
+	}
+
 	sim.DescribeMapping(w, os.Stdout)
 
 	ann := sim.EstimateANN(w)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/device"
 	"repro/internal/noc"
+	"repro/internal/reliability"
 	"repro/internal/rng"
 	"repro/internal/snn"
 	"repro/internal/tensor"
@@ -30,11 +31,19 @@ type Chip struct {
 	WMax float64
 	// FaultRate injects stuck-at device faults into every programmed
 	// super-tile (requires a noise generator). FaultMode selects the
-	// stuck state.
+	// stuck state. This is the legacy uniform-stuck-at path; the full
+	// fault model lives behind Rel.
 	FaultRate float64
 	FaultMode crossbar.FaultMode
+	// Rel, when non-nil, enables the reliability subsystem: the richer
+	// fault profile is injected into every programmed core (spares
+	// included), the BIST/repair pipeline runs per the protection level,
+	// and runs return a *reliability.DegradedError when mitigation is
+	// exhausted. Requires a noise generator for injection.
+	Rel *reliability.Config
 
-	noise *rng.Rand
+	noise  *rng.Rand
+	health reliability.Report
 }
 
 // NewChip builds a chip with the given device and crossbar configuration.
@@ -103,7 +112,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 			// window to its block (the morphable switches isolate the
 			// per-group column ranges).
 			km := v.W.Reshape(outC, rf).Transpose()
-			core := NewSNNCore(ch.P, ch.Cfg, 1.0, ch.split())
+			core := NewSNNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 			// Positions allocated lazily at run time (depends on input size).
 			s := &stageHW{kind: "conv", snnCore: core, kh: kh, kw: kw,
 				stride: v.Stride, pad: v.Pad, inC: inC, outC: outC, groups: v.Groups}
@@ -116,24 +125,28 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 			if !FitsInCore(rf, outC) {
 				// Multi-core spill: digitized partial sums reduced at a
 				// routing unit (§IV-B3's Rf > 16M path).
-				sp := NewRUSpillCore(ch.P, ch.Cfg, 1.0, ch.split())
+				sp := NewRUSpillCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 				sp.ADCBits = 8
 				if err := sp.Program(km, ch.WMax, 1); err != nil {
 					return nil, err
 				}
 				for _, st := range sp.blocks {
-					ch.injectFaults(st)
+					if err := ch.prepare(st); err != nil {
+						return nil, err
+					}
 				}
 				s := &stageHW{kind: "dense", spill: sp, outC: outC}
 				s.bias = v.B
 				stages = append(stages, s)
 				continue
 			}
-			core := NewSNNCore(ch.P, ch.Cfg, 1.0, ch.split())
+			core := NewSNNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 			if err := core.Program(km, ch.WMax, 1); err != nil {
 				return nil, err
 			}
-			ch.injectFaults(core.ST)
+			if err := ch.prepare(core.ST); err != nil {
+				return nil, err
+			}
 			s := &stageHW{kind: "dense", snnCore: core, outC: outC}
 			s.bias = v.B
 			stages = append(stages, s)
@@ -159,11 +172,39 @@ func (ch *Chip) split() *rng.Rand {
 }
 
 // injectFaults applies the chip's configured stuck-at fault rate to a
-// freshly programmed super-tile.
+// freshly programmed super-tile (the legacy uniform model).
 func (ch *Chip) injectFaults(st *SuperTile) {
 	if ch.FaultRate > 0 && ch.noise != nil {
 		st.InjectStuckFaults(ch.noise.Split(), ch.FaultRate, ch.FaultMode)
 	}
+}
+
+// coreCfg derives the crossbar configuration for a new core: the chip's
+// base config plus the reliability knobs (spare lines under
+// sparing+remap, read disturb and drift from the fault profile).
+func (ch *Chip) coreCfg() crossbar.Config {
+	cfg := ch.Cfg
+	if ch.Rel != nil {
+		if ch.Rel.Protection >= reliability.ProtectSpareRemap {
+			cfg.SpareRows = ch.Rel.Policy.SpareRows
+			cfg.SpareCols = ch.Rel.Policy.SpareCols
+		}
+		cfg.ReadDisturbProb = ch.Rel.Faults.ReadDisturbProb
+		cfg.DriftTauSteps = ch.Rel.Faults.DriftTauSteps
+	}
+	return cfg
+}
+
+// prepare post-processes a freshly programmed super-tile: under the
+// reliability subsystem it injects the fault profile and runs the
+// protection pipeline (possibly refusing with a DegradedError);
+// otherwise it applies the legacy uniform fault rate.
+func (ch *Chip) prepare(st *SuperTile) error {
+	if ch.Rel != nil {
+		return ch.protect(st)
+	}
+	ch.injectFaults(st)
+	return nil
 }
 
 // RunSNN executes T Poisson-encoded timesteps of one image through the
@@ -184,6 +225,7 @@ func (ch *Chip) RunSNN(c *convert.Converted, img *tensor.Tensor, T int, enc *snn
 				return nil, err
 			}
 		}
+		ch.tickRetention(stages, t)
 	}
 	// The read-out stage integrates increments across timesteps; its
 	// accumulator holds the final class potentials.
@@ -216,7 +258,9 @@ func (ch *Chip) stepStage(s *stageHW, x *tensor.Tensor, res *RunResult) (*tensor
 			if err := s.kmProgram(oh * ow * s.groups); err != nil {
 				return nil, err
 			}
-			ch.injectFaults(s.snnCore.ST)
+			if err := ch.prepare(s.snnCore.ST); err != nil {
+				return nil, err
+			}
 		}
 		out := tensor.New(s.outC, oh, ow)
 		gcIn := s.inC / s.groups

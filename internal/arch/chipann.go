@@ -44,12 +44,14 @@ func (ch *Chip) annStage(layer snn.Layer, x *tensor.Tensor, res *RunResult) (*te
 		if !FitsInCore(rf, outC) {
 			return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
 		}
-		core := NewANNCore(ch.P, ch.Cfg, 1.0, ch.split())
+		core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 		km := v.W.Reshape(outC, rf).Transpose()
 		if err := core.Program(km, ch.WMax); err != nil {
 			return nil, err
 		}
-		ch.injectFaults(core.ST)
+		if err := ch.prepare(core.ST); err != nil {
+			return nil, err
+		}
 		h, w := x.Dim(1), x.Dim(2)
 		oh := tensor.ConvOutSize(h, kh, v.Stride, v.Pad)
 		ow := tensor.ConvOutSize(w, kw, v.Stride, v.Pad)
@@ -87,11 +89,13 @@ func (ch *Chip) annStage(layer snn.Layer, x *tensor.Tensor, res *RunResult) (*te
 		if !FitsInCore(km.Dim(0), km.Dim(1)) {
 			return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
 		}
-		core := NewANNCore(ch.P, ch.Cfg, 1.0, ch.split())
+		core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 		if err := core.Program(km, ch.WMax); err != nil {
 			return nil, err
 		}
-		ch.injectFaults(core.ST)
+		if err := ch.prepare(core.ST); err != nil {
+			return nil, err
+		}
 		flat := x.Reshape(x.Size())
 		sums, err := ch.annExecuteWithBias(core, [][]float64{flat.Data()}, v.B)
 		if err != nil {

@@ -102,6 +102,7 @@ func (ch *Chip) RunHybrid(c *convert.Converted, nonSpiking int, img *tensor.Tens
 			}
 		}
 		au.Accumulate(x)
+		ch.tickRetention(frontHW, t)
 	}
 	for _, s := range frontHW {
 		if s.snnCore != nil {

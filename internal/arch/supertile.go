@@ -36,6 +36,12 @@ type SuperTile struct {
 	rows  int // mapped kernel rows (Rf)
 	cols  int // mapped kernel count
 	wmax  float64
+	// slotAC routes each configured slot (set*stack+height) to a physical
+	// AC index; identity after Program, diverging when tile retirement
+	// re-places a slot onto a spare array. retired marks physical ACs
+	// taken out of service.
+	slotAC  []int
+	retired []bool
 }
 
 // NewSuperTile allocates an unconfigured super-tile.
@@ -69,6 +75,11 @@ func (st *SuperTile) Program(w *tensor.Tensor, wmax float64) error {
 		return fmt.Errorf("arch: layer needs %d ACs, super-tile has %d", stack*sets, mapping.ACsPerNC)
 	}
 	st.stack, st.sets, st.rows, st.cols, st.wmax = stack, sets, rf, k, wmax
+	st.slotAC = make([]int, stack*sets)
+	for i := range st.slotAC {
+		st.slotAC[i] = i
+	}
+	st.retired = make([]bool, len(st.acs))
 
 	for s := 0; s < sets; s++ {
 		colLo := s * mapping.M
@@ -90,9 +101,82 @@ func (st *SuperTile) Program(w *tensor.Tensor, wmax float64) error {
 	return nil
 }
 
-// ac returns the atomic crossbar at (set, height) in the logical stack.
+// ac returns the atomic crossbar at (set, height) in the logical stack,
+// through the retirement indirection.
 func (st *SuperTile) ac(set, height int) *crossbar.Crossbar {
-	return st.acs[set*st.stack+height]
+	return st.acs[st.slotAC[set*st.stack+height]]
+}
+
+// Slots returns the number of configured AC slots (stack·sets), or 0
+// before Program.
+func (st *SuperTile) Slots() int { return st.stack * st.sets }
+
+// SlotCrossbar returns the physical array currently serving a slot.
+func (st *SuperTile) SlotCrossbar(slot int) *crossbar.Crossbar {
+	return st.acs[st.slotAC[slot]]
+}
+
+// AllACs returns every physical atomic crossbar of the super-tile,
+// configured or spare — the injection domain of the reliability layer
+// (spare arrays are as fallible as active ones).
+func (st *SuperTile) AllACs() []*crossbar.Crossbar { return st.acs }
+
+// Retire takes the slot's current array out of service and re-places its
+// weight slice onto an unused physical AC of the same super-tile
+// (reprogramming from the stored pair targets; the spare's own recorded
+// faults apply). It reports whether a spare array was available.
+func (st *SuperTile) Retire(slot int) bool {
+	if st.stack == 0 || slot < 0 || slot >= st.stack*st.sets {
+		return false
+	}
+	inUse := make([]bool, len(st.acs))
+	for _, phys := range st.slotAC {
+		inUse[phys] = true
+	}
+	spare := -1
+	for phys := range st.acs {
+		if !inUse[phys] && !st.retired[phys] {
+			spare = phys
+			break
+		}
+	}
+	if spare < 0 {
+		return false
+	}
+	old := st.acs[st.slotAC[slot]]
+	w, wmax := old.TargetWeights()
+	if err := st.acs[spare].Program(w, wmax); err != nil {
+		return false
+	}
+	st.retired[st.slotAC[slot]] = true
+	st.slotAC[slot] = spare
+	return true
+}
+
+// Tick advances the retention clock of every configured array.
+func (st *SuperTile) Tick(steps int64) {
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		st.acs[st.slotAC[slot]].Tick(steps)
+	}
+}
+
+// MaxAge returns the oldest retention age among configured arrays.
+func (st *SuperTile) MaxAge() int64 {
+	var maxAge int64
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		if a := st.acs[st.slotAC[slot]].Age(); a > maxAge {
+			maxAge = a
+		}
+	}
+	return maxAge
+}
+
+// Refresh scrubs every configured array: pairs are rewritten to their
+// targets and the retention clocks reset.
+func (st *SuperTile) Refresh() {
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		st.acs[st.slotAC[slot]].Refresh()
+	}
 }
 
 // NULevel returns the hierarchy level that thresholds this configuration.

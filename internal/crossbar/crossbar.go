@@ -9,6 +9,12 @@
 // The model includes the two dominant analog non-idealities the paper's
 // design section discusses: source-line IR drop (which grows with the
 // number of simultaneously active rows) and read-current noise.
+//
+// The array also carries the device-level reliability model consumed by
+// package reliability: persistent per-device fault records (stuck and
+// weak devices survive reprogramming), dead row/column lines, read
+// disturb, retention drift, and spare lines reachable through a logical→
+// physical line indirection. See faults.go.
 package crossbar
 
 import (
@@ -45,6 +51,20 @@ type Config struct {
 	// of programming error: each synapse lands within a few pinning sites
 	// of its target (device mismatch, §IV-D). Zero disables it.
 	ProgramVariationLevels float64
+	// SpareRows and SpareCols provision redundant physical lines per array
+	// for dead-line remapping by the reliability layer. Zero disables
+	// sparing and keeps the array purely logical.
+	SpareRows, SpareCols int
+	// ReadDisturbProb is the per-device per-evaluation probability that a
+	// read pulse nudges a stored domain wall one pinning site toward AP
+	// (a transient retention upset). Requires a noise generator; zero
+	// disables the effect.
+	ReadDisturbProb float64
+	// DriftTauSteps is the retention time constant in elapsed timesteps
+	// (advanced by Tick): read currents decay by exp(-age/τ) as the
+	// programmed walls relax toward their unpinned rest state. Zero
+	// disables drift.
+	DriftTauSteps float64
 }
 
 // Crossbar is an R×C array of differential DW-MTJ synapse pairs.
@@ -53,8 +73,31 @@ type Crossbar struct {
 	P          device.Params
 	Cfg        Config
 
-	// levelPlus/levelMinus hold the programmed device levels.
-	levelPlus, levelMinus []int
+	// Physical geometry: the logical lines plus Cfg's spare lines. The
+	// rowMap/colMap indirection routes each logical line to a physical
+	// line; it is the identity until a remap consumes a spare.
+	physRows, physCols int
+	rowMap, colMap     []int
+
+	// levelPlus/levelMinus hold the stored device levels, indexed
+	// physRow*physCols+physCol. targetPlus/targetMinus hold the levels
+	// the last Program intended — what BIST verifies against and what
+	// write-verify rewrites toward.
+	levelPlus, levelMinus   []int
+	targetPlus, targetMinus []int
+
+	// faultPlus/faultMinus record injected device faults (allocated
+	// lazily on first injection); deadRow/deadCol mark failed physical
+	// lines. spareRowsFree/spareColsFree list physical spares not yet
+	// consumed by a remap.
+	faultPlus, faultMinus        []faultRec
+	deadRow, deadCol             []bool
+	spareRowsFree, spareColsFree []int
+
+	// age counts elapsed timesteps since the last full (re)programming,
+	// driving retention drift.
+	age int64
+
 	// wmax maps level States-1 to weight magnitude wmax.
 	wmax  float64
 	stats Stats
@@ -63,18 +106,38 @@ type Crossbar struct {
 
 // New allocates an unprogrammed crossbar.
 func New(rows, cols int, p device.Params, cfg Config, noise *rng.Rand) *Crossbar {
-	return &Crossbar{
+	physRows, physCols := rows+cfg.SpareRows, cols+cfg.SpareCols
+	c := &Crossbar{
 		Rows: rows, Cols: cols, P: p, Cfg: cfg,
-		levelPlus:  make([]int, rows*cols),
-		levelMinus: make([]int, rows*cols),
-		noise:      noise,
+		physRows: physRows, physCols: physCols,
+		rowMap: make([]int, rows), colMap: make([]int, cols),
+		levelPlus:   make([]int, physRows*physCols),
+		levelMinus:  make([]int, physRows*physCols),
+		targetPlus:  make([]int, physRows*physCols),
+		targetMinus: make([]int, physRows*physCols),
+		noise:       noise,
 	}
+	for i := range c.rowMap {
+		c.rowMap[i] = i
+	}
+	for i := range c.colMap {
+		c.colMap[i] = i
+	}
+	for s := rows; s < physRows; s++ {
+		c.spareRowsFree = append(c.spareRowsFree, s)
+	}
+	for s := cols; s < physCols; s++ {
+		c.spareColsFree = append(c.spareColsFree, s)
+	}
+	return c
 }
 
 // Program loads a rows×cols weight matrix. Weights are clipped to ±wmax
 // and quantized to the device's discrete levels; positive weights program
 // the plus device, negative the minus device. Programming energy is
-// accounted per level step moved.
+// accounted per level step moved. Recorded device faults persist: a stuck
+// or weak device ignores the write and keeps its fault level, so
+// reprogramming does not silently heal injected defects.
 func (c *Crossbar) Program(w *tensor.Tensor, wmax float64) error {
 	if w.NDim() != 2 || w.Dim(0) != c.Rows || w.Dim(1) != c.Cols {
 		return fmt.Errorf("crossbar: weights %v do not fit %d×%d array", w.Shape(), c.Rows, c.Cols)
@@ -86,47 +149,58 @@ func (c *Crossbar) Program(w *tensor.Tensor, wmax float64) error {
 	states := c.P.States()
 	stepEnergy := c.P.WriteEnergyFJ / float64(states-1)
 	wd := w.Data()
-	for i, v := range wd {
-		mag := math.Abs(v)
-		if mag > wmax {
-			mag = wmax
-		}
-		level := int(math.Round(mag / wmax * float64(states-1)))
-		if c.Cfg.ProgramVariationLevels > 0 && c.noise != nil {
-			level += int(math.Round(c.Cfg.ProgramVariationLevels * c.noise.NormFloat64()))
-			if level < 0 {
-				level = 0
+	for r := 0; r < c.Rows; r++ {
+		pr := c.rowMap[r]
+		for col := 0; col < c.Cols; col++ {
+			v := wd[r*c.Cols+col]
+			mag := math.Abs(v)
+			if mag > wmax {
+				mag = wmax
 			}
-			if level > states-1 {
-				level = states - 1
+			level := int(math.Round(mag / wmax * float64(states-1)))
+			written := level
+			if c.Cfg.ProgramVariationLevels > 0 && c.noise != nil {
+				written += int(math.Round(c.Cfg.ProgramVariationLevels * c.noise.NormFloat64()))
+				if written < 0 {
+					written = 0
+				}
+				if written > states-1 {
+					written = states - 1
+				}
 			}
+			var tp, tm, ap, am int
+			if v >= 0 {
+				tp, ap = level, written
+			} else {
+				tm, am = level, written
+			}
+			pi := pr*c.physCols + c.colMap[col]
+			c.targetPlus[pi], c.targetMinus[pi] = tp, tm
+			ap = c.appliedLevel(pi, true, ap)
+			am = c.appliedLevel(pi, false, am)
+			c.stats.ProgramEnergyFJ += math.Abs(float64(ap-c.levelPlus[pi])) * stepEnergy
+			c.stats.ProgramEnergyFJ += math.Abs(float64(am-c.levelMinus[pi])) * stepEnergy
+			c.levelPlus[pi] = ap
+			c.levelMinus[pi] = am
 		}
-		var plus, minus int
-		if v >= 0 {
-			plus = level
-		} else {
-			minus = level
-		}
-		c.stats.ProgramEnergyFJ += math.Abs(float64(plus-c.levelPlus[i])) * stepEnergy
-		c.stats.ProgramEnergyFJ += math.Abs(float64(minus-c.levelMinus[i])) * stepEnergy
-		c.levelPlus[i] = plus
-		c.levelMinus[i] = minus
 	}
+	c.age = 0
 	return nil
 }
 
 // EffectiveWeight returns the programmed (quantized) weight at (row, col).
 func (c *Crossbar) EffectiveWeight(row, col int) float64 {
 	states := c.P.States()
-	i := row*c.Cols + col
+	i := c.rowMap[row]*c.physCols + c.colMap[col]
 	return float64(c.levelPlus[i]-c.levelMinus[i]) / float64(states-1) * c.wmax
 }
 
 // MAC drives the rows with input levels in [0, 1] (bit-line voltage as a
 // fraction of VRead) and returns the per-column dot products in weight
 // units, as thresholded by the neuron units. Column read currents are
-// derived from the device conductances, so quantization, IR drop and read
-// noise all act on the result.
+// derived from the device conductances, so quantization, IR drop, read
+// noise, dead lines, retention drift and read disturb all act on the
+// result.
 func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 	if len(input) != c.Rows {
 		return nil, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
@@ -141,11 +215,20 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 	if c.Cfg.IRDropAlpha > 0 && c.Rows > 0 {
 		atten = 1 / (1 + c.Cfg.IRDropAlpha*float64(active)/float64(c.Rows))
 	}
+	drift := 1.0
+	if c.Cfg.DriftTauSteps > 0 && c.age > 0 {
+		drift = math.Exp(-float64(c.age) / c.Cfg.DriftTauSteps)
+	}
 	states := c.P.States()
 	deltaG := (c.P.GParallelUS - c.P.GAntiParallelUS) / float64(states-1) // µS per level
 	out := make([]float64, c.Cols)
 	var currentSum float64
 	for col := 0; col < c.Cols; col++ {
+		pc := c.colMap[col]
+		if c.deadCol != nil && c.deadCol[pc] {
+			// A dead sense line contributes no current; the column reads 0.
+			continue
+		}
 		// Differential column current: Σ V_i·ΔG·(level⁺−level⁻).
 		var iDiff float64 // in µA
 		for row := 0; row < c.Rows; row++ {
@@ -153,11 +236,17 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 			if v == 0 {
 				continue
 			}
-			idx := row*c.Cols + col
+			pr := c.rowMap[row]
+			if c.deadRow != nil && c.deadRow[pr] {
+				continue
+			}
+			idx := pr*c.physCols + pc
 			g := float64(c.levelPlus[idx]-c.levelMinus[idx]) * deltaG
 			iDiff += v * atten * c.P.VReadMV * 1e-3 * g // mV·µS → µA·1e-3... see scale below
 		}
-		// Scale: (V in volts)·(G in µS) = µA.
+		// Scale: (V in volts)·(G in µS) = µA. Drift scales the stored
+		// polarization uniformly before the read noise is applied.
+		iDiff *= drift
 		if c.Cfg.ReadNoiseSigma > 0 && c.noise != nil {
 			iDiff *= 1 + c.Cfg.ReadNoiseSigma*c.noise.NormFloat64()
 		}
@@ -167,6 +256,7 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 		fullScale := c.P.VReadMV * 1e-3 * float64(states-1) * deltaG
 		out[col] = iDiff / fullScale * c.wmax
 	}
+	c.applyReadDisturb(active)
 	c.stats.MACs++
 	c.stats.ActiveRowSum += int64(active)
 	c.stats.OutputCurrentUA += currentSum
@@ -183,12 +273,15 @@ func (c *Crossbar) ResetStats() { c.stats = Stats{} }
 // level, the quantity behind the paper's morphable-tile motivation.
 func (c *Crossbar) Utilization() float64 {
 	used := 0
-	for i := range c.levelPlus {
-		if c.levelPlus[i] != 0 || c.levelMinus[i] != 0 {
-			used++
+	for r := 0; r < c.Rows; r++ {
+		for col := 0; col < c.Cols; col++ {
+			i := c.rowMap[r]*c.physCols + c.colMap[col]
+			if c.levelPlus[i] != 0 || c.levelMinus[i] != 0 {
+				used++
+			}
 		}
 	}
-	return float64(used) / float64(len(c.levelPlus))
+	return float64(used) / float64(c.Rows*c.Cols)
 }
 
 // FaultMode selects the stuck state of an injected device fault.
@@ -203,27 +296,35 @@ const (
 )
 
 // InjectStuckFaults forces a random fraction of synapse devices into a
-// stuck conductance state, modelling fabrication defects and endurance
-// failures. Both devices of a differential pair are candidates
-// independently. It returns the number of devices faulted. Subsequent
-// Program calls overwrite faults (call again after reprogramming to model
-// permanent defects).
+// permanently stuck conductance state, modelling fabrication defects and
+// endurance failures. Both devices of a differential pair are candidates
+// independently; spare devices are as fallible as primary ones. It
+// returns the number of devices faulted. Faults are recorded per device
+// and re-applied by every subsequent Program call, so a reprogrammed
+// array keeps its defects.
 func (c *Crossbar) InjectStuckFaults(r *rng.Rand, fraction float64, mode FaultMode) int {
 	if r == nil || fraction <= 0 {
 		return 0
 	}
+	c.ensureFaults()
 	states := c.P.States()
 	stuck := 0
 	if mode == StuckP {
 		stuck = states - 1
 	}
+	kind := kindStuckAP
+	if mode == StuckP {
+		kind = kindStuckP
+	}
 	n := 0
 	for i := range c.levelPlus {
 		if r.Bernoulli(fraction) {
+			c.faultPlus[i] = faultRec{kind: kind, level: int16(stuck)}
 			c.levelPlus[i] = stuck
 			n++
 		}
 		if r.Bernoulli(fraction) {
+			c.faultMinus[i] = faultRec{kind: kind, level: int16(stuck)}
 			c.levelMinus[i] = stuck
 			n++
 		}

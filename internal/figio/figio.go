@@ -111,13 +111,30 @@ func TableIICSV(w io.Writer, r experiments.TableIIResult) error {
 	return writeRows(w, []string{"model", "mode", "timesteps", "accuracy"}, rows)
 }
 
-// FaultCSV writes the fault-resilience curve.
+// FaultCSV writes the three-curve fault-resilience study: one row per
+// (protection, rate) point with accuracy, refusal count and the headline
+// mitigation counters.
 func FaultCSV(w io.Writer, r experiments.FaultResilienceResult) error {
-	rows := make([][]string, len(r.Points))
-	for i, p := range r.Points {
-		rows[i] = []string{f(p.FaultRate), f(p.Accuracy)}
+	var rows [][]string
+	for _, c := range r.Curves {
+		for _, p := range c.Points {
+			h := p.Health
+			rows = append(rows, []string{
+				c.Protection.String(), f(p.FaultRate), f(p.Accuracy),
+				strconv.Itoa(p.Refused),
+				strconv.FormatInt(h.FaultsFound, 10),
+				strconv.FormatInt(h.Repaired, 10),
+				strconv.FormatInt(h.Compensated, 10),
+				strconv.FormatInt(h.RowsRemapped+h.ColsRemapped, 10),
+				strconv.FormatInt(h.TilesRetired, 10),
+				strconv.FormatInt(h.Unmitigated, 10),
+			})
+		}
 	}
-	return writeRows(w, []string{"fault_rate", "accuracy"}, rows)
+	return writeRows(w, []string{
+		"protection", "fault_rate", "accuracy", "refused",
+		"faults_found", "repaired", "compensated", "lines_remapped", "tiles_retired", "unmitigated",
+	}, rows)
 }
 
 // ProfileCSV writes a per-timestep power profile.

@@ -15,7 +15,9 @@
 //   - panic-audit: panic calls in library (non-main) packages are
 //     reported and ranked unless they are recognized invariant-violation
 //     forms (Must* helpers, or messages naming an invariant/unreachable
-//     state/internal error).
+//     state/internal error). Panics inside internal/reliability escalate
+//     to error severity: fault-handling code must return errors (the
+//     DegradedError path), never panic.
 //   - errcheck: call statements in cmd/ and internal/ that discard a
 //     returned error are flagged, with a small whitelist for fmt printing
 //     and in-memory writers that cannot fail.
@@ -145,7 +147,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		for _, a := range analyzers {
 			for _, f := range a.Run(p) {
 				f.Rule = a.Name
-				f.Severity = a.Severity
+				// The analyzer's severity is a floor: a rule may escalate
+				// individual findings (e.g. panic-audit inside the
+				// reliability subsystem) but never emit below its level.
+				if a.Severity > f.Severity {
+					f.Severity = a.Severity
+				}
 				f.Package = p.Path
 				if reason, ok := p.suppressedAt(a.Name, f.File, f.Line); ok {
 					f.Suppressed = true

@@ -29,6 +29,12 @@ import (
 // do not match the recognized forms should be annotated:
 //
 //	//nebula:lint-ignore panic-audit <why this is an invariant>
+//
+// One exception is escalated to error severity and fails the gate: panics
+// inside the reliability subsystem (internal/reliability). Fault handling
+// exists precisely to survive bad hardware, so it must degrade gracefully
+// — exhausted mitigation is reported by returning *reliability.DegradedError
+// up through the chip run, never by killing the process.
 func PanicAuditAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name:     "panic-audit",
@@ -36,6 +42,12 @@ func PanicAuditAnalyzer() *Analyzer {
 		Severity: SeverityWarning,
 		Run:      runPanicAudit,
 	}
+}
+
+// isReliabilityPath reports whether a package belongs to the reliability
+// subsystem, where panic-audit findings escalate to gate failures.
+func isReliabilityPath(path string) bool {
+	return strings.Contains(path, "internal/reliability")
 }
 
 // invariantMarkers are message fragments that mark a panic as an
@@ -78,8 +90,13 @@ func runPanicAudit(p *Package) []Finding {
 					if isRecoveredValue(p, file, v.Args[0]) {
 						return true
 					}
-					out = append(out, findingAt(p.Fset, v.Pos(),
-						"panic in library package (func "+fn+"); return an error for recoverable conditions or annotate the invariant"))
+					f := findingAt(p.Fset, v.Pos(),
+						"panic in library package (func "+fn+"); return an error for recoverable conditions or annotate the invariant")
+					if isReliabilityPath(p.Path) {
+						f.Severity = SeverityError
+						f.Message = "panic in reliability subsystem (func " + fn + "); fault handling must degrade gracefully — return a *reliability.DegradedError (or a wrapped error), never panic"
+					}
+					out = append(out, f)
 					return true
 				}
 				return true

@@ -75,6 +75,35 @@ func main() { panic("boom") }
 	}
 }
 
+func TestPanicAuditReliabilityEscalation(t *testing.T) {
+	// Inside the reliability subsystem a plain panic is a gate failure:
+	// fault handling must return the DegradedError path, not crash.
+	src := `package reliability
+
+func mitigate(residual int) {
+	if residual > 0 {
+		panic("reliability: mitigation exhausted")
+	}
+}
+
+func MustPolicy(ok bool) {
+	if !ok {
+		panic("bad policy") // Must* helpers stay exempt even here
+	}
+}
+`
+	active, _ := partition(runFixture(t, PanicAuditAnalyzer(), "repro/internal/reliability", src))
+	if len(active) != 1 {
+		t.Fatalf("findings %d, want 1: %+v", len(active), active)
+	}
+	if active[0].Severity != SeverityError {
+		t.Fatalf("reliability panic must escalate to error, got %v", active[0].Severity)
+	}
+	if ErrorCount(active) != 1 {
+		t.Fatalf("escalated finding must fail the gate")
+	}
+}
+
 func TestPanicAuditSuppressedFinding(t *testing.T) {
 	src := `package compiler
 

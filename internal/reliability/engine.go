@@ -1,0 +1,156 @@
+package reliability
+
+import (
+	"repro/internal/crossbar"
+	"repro/internal/rng"
+)
+
+// Engine drives fault injection and the mitigation pipeline over the
+// atomic crossbars of one core. It owns a private RNG stream (split from
+// the chip's noise generator in a fixed order), so the injected fault
+// pattern for a given seed is reproducible and — for a fixed array
+// geometry — identical across protection levels; sparing adds spare
+// lines to the physical array, whose extra devices draw from the same
+// stream (the spares are injected too, equally fallible).
+type Engine struct {
+	cfg *Config
+	r   *rng.Rand
+	rpt Report
+}
+
+// NewEngine builds an engine over one core. A nil RNG disables injection
+// and the stochastic part of repair (weak devices then never clear).
+func NewEngine(cfg *Config, r *rng.Rand) *Engine {
+	return &Engine{cfg: cfg, r: r}
+}
+
+// Report returns the engine's accumulated counters.
+func (e *Engine) Report() Report { return e.rpt }
+
+// NoteRetired records a tile retirement performed by the caller (the
+// super-tile owns the spare-array bookkeeping).
+func (e *Engine) NoteRetired() { e.rpt.TilesRetired++ }
+
+// Inject draws the configured fault population into one physical
+// crossbar: device faults (permanent stuck or weak, per PermanentFrac)
+// over every device including spares, and dead row/column lines.
+func (e *Engine) Inject(cb *crossbar.Crossbar) {
+	f := e.cfg.Faults
+	if e.r == nil || !f.Any() {
+		return
+	}
+	states := cb.P.States()
+	if f.DeviceRate > 0 {
+		for row := 0; row < cb.PhysRows(); row++ {
+			for col := 0; col < cb.PhysCols(); col++ {
+				for side := 0; side < 2; side++ {
+					if !e.r.Bernoulli(f.DeviceRate) {
+						continue
+					}
+					plus := side == 0
+					if e.r.Bernoulli(f.PermanentFrac) {
+						cb.SetStuck(row, col, plus, f.Mode)
+					} else {
+						cb.SetWeak(row, col, plus, e.r.Intn(states))
+					}
+					e.rpt.DevicesFaulted++
+				}
+			}
+		}
+	}
+	if f.RowDeadRate > 0 {
+		for row := 0; row < cb.PhysRows(); row++ {
+			if e.r.Bernoulli(f.RowDeadRate) && cb.KillRow(row) {
+				e.rpt.RowsDead++
+			}
+		}
+	}
+	if f.ColDeadRate > 0 {
+		for col := 0; col < cb.PhysCols(); col++ {
+			if e.r.Bernoulli(f.ColDeadRate) && cb.KillCol(col) {
+				e.rpt.ColsDead++
+			}
+		}
+	}
+}
+
+// ProtectArray runs the BIST + mitigation pipeline on one programmed
+// crossbar and returns its residual unmitigated pair count. The caller
+// owns what happens to arrays that stay bad (retirement, degradation) —
+// the engine only accounts Unmitigated once per final array, via the
+// caller adding the returned count.
+func (e *Engine) ProtectArray(cb *crossbar.Crossbar) int {
+	m := cb.Verify()
+	e.rpt.ArraysScanned++
+	e.rpt.PairsScanned += int64(m.Rows * m.Cols)
+	e.rpt.ScanReads += m.ScanReads
+	e.rpt.FaultsFound += int64(m.Count())
+	if e.cfg.Protection == ProtectNone {
+		return m.Count()
+	}
+
+	// Dead lines first: a remapped line's pairs become repairable device
+	// faults (the spare's own defects), caught by the rescan below.
+	if e.cfg.Protection >= ProtectSpareRemap && (len(m.DeadRows) > 0 || len(m.DeadCols) > 0) {
+		for _, row := range m.DeadRows {
+			if cb.RemapRow(row) {
+				e.rpt.RowsRemapped++
+				e.rpt.RepairWrites += int64(2 * m.Cols)
+			}
+		}
+		for _, col := range m.DeadCols {
+			if cb.RemapCol(col) {
+				e.rpt.ColsRemapped++
+				e.rpt.RepairWrites += int64(2 * m.Rows)
+			}
+		}
+		m = cb.Verify()
+		e.rpt.ScanReads += m.ScanReads
+	}
+
+	// Write-verify retry loop per faulty pair: each attempt may pin a
+	// weak device's wall (clearing the weakness), then re-drives the pair
+	// toward its target and re-reads it.
+	retries := e.cfg.Policy.MaxWriteRetries
+	if retries < 1 {
+		retries = 1
+	}
+	for _, pf := range m.Pairs {
+		repaired := false
+		for attempt := 0; attempt < retries; attempt++ {
+			weakP, weakM := cb.WeakAt(pf.Row, pf.Col)
+			if weakP && e.r != nil && e.r.Bernoulli(e.cfg.Policy.RetrySuccessProb) {
+				cb.ClearWeak(pf.Row, pf.Col, true)
+			}
+			if weakM && e.r != nil && e.r.Bernoulli(e.cfg.Policy.RetrySuccessProb) {
+				cb.ClearWeak(pf.Row, pf.Col, false)
+			}
+			cb.WritePair(pf.Row, pf.Col)
+			e.rpt.RepairWrites += 2
+			if cb.PairError(pf.Row, pf.Col) == 0 {
+				repaired = true
+				break
+			}
+			stuckP, stuckM := cb.StuckAt(pf.Row, pf.Col)
+			wp, wm := cb.WeakAt(pf.Row, pf.Col)
+			if (stuckP || stuckM) && !wp && !wm {
+				// Only permanent faults left; rewriting cannot converge.
+				break
+			}
+		}
+		if repaired {
+			e.rpt.Repaired++
+			continue
+		}
+		if e.cfg.Protection >= ProtectSpareRemap {
+			e.rpt.RepairWrites++
+			if cb.CompensatePair(pf.Row, pf.Col) == 0 {
+				e.rpt.Compensated++
+			}
+		}
+	}
+
+	final := cb.Verify()
+	e.rpt.ScanReads += final.ScanReads
+	return final.Count()
+}

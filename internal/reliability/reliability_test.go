@@ -1,0 +1,190 @@
+package reliability
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func testArray(t *testing.T, cfg *Config, seed uint64) *crossbar.Crossbar {
+	t.Helper()
+	ccfg := crossbar.Config{}
+	if cfg.Protection >= ProtectSpareRemap {
+		ccfg.SpareRows = cfg.Policy.SpareRows
+		ccfg.SpareCols = cfg.Policy.SpareCols
+	}
+	cb := crossbar.New(64, 64, device.DefaultParams(), ccfg, rng.New(seed))
+	w := tensor.New(64, 64)
+	r := rng.New(seed + 1)
+	for i := range w.Data() {
+		w.Data()[i] = 2*r.Float64() - 1
+	}
+	if err := cb.Program(w, 1); err != nil {
+		t.Fatal(err)
+	}
+	return cb
+}
+
+func TestParseProtection(t *testing.T) {
+	for in, want := range map[string]Protection{
+		"none": ProtectNone, "verify": ProtectWriteVerify, "write-verify": ProtectWriteVerify,
+		"spare": ProtectSpareRemap, "sparing+remap": ProtectSpareRemap, "remap": ProtectSpareRemap,
+	} {
+		got, err := ParseProtection(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseProtection(%q) = %v, %v", in, got, err)
+		}
+		if round, err := ParseProtection(got.String()); err != nil || round != got {
+			t.Fatalf("String/Parse roundtrip broken for %v", got)
+		}
+	}
+	if _, err := ParseProtection("everything"); err == nil {
+		t.Fatal("unknown protection accepted")
+	}
+}
+
+func TestInjectionDeterministicPerSeed(t *testing.T) {
+	cfg := StudyConfig(0.05, ProtectSpareRemap)
+	run := func() (*crossbar.FaultMap, Report) {
+		cb := testArray(t, cfg, 77)
+		eng := NewEngine(cfg, rng.New(99))
+		eng.Inject(cb)
+		return cb.Verify(), eng.Report()
+	}
+	m1, r1 := run()
+	m2, r2 := run()
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatal("fault maps differ for identical seeds")
+	}
+	if r1 != r2 {
+		t.Fatalf("injection reports differ: %+v vs %+v", r1, r2)
+	}
+	if r1.DevicesFaulted == 0 {
+		t.Fatal("fixture injected nothing")
+	}
+}
+
+func TestWriteVerifyRepairsWeakDevices(t *testing.T) {
+	// All-weak profile: every fault is repairable, so the retry loop must
+	// clear (nearly) everything the unprotected scan reports.
+	cfg := &Config{
+		Faults:     FaultProfile{DeviceRate: 0.05, PermanentFrac: 0},
+		Protection: ProtectWriteVerify,
+		Policy:     DefaultPolicy(),
+	}
+	cfg.Policy.MaxWriteRetries = 8
+	cb := testArray(t, cfg, 5)
+	eng := NewEngine(cfg, rng.New(6))
+	eng.Inject(cb)
+	found := cb.Verify().Count()
+	if found == 0 {
+		t.Fatal("fixture injected nothing")
+	}
+	left := eng.ProtectArray(cb)
+	rpt := eng.Report()
+	if rpt.Repaired == 0 {
+		t.Fatal("write-verify repaired nothing")
+	}
+	if left > found/10 {
+		t.Fatalf("weak faults should mostly repair: %d of %d left", left, found)
+	}
+	if rpt.RepairWrites == 0 || rpt.ScanReads == 0 {
+		t.Fatalf("cost counters empty: %+v", rpt)
+	}
+}
+
+func TestProtectNoneOnlyObserves(t *testing.T) {
+	cfg := StudyConfig(0.05, ProtectNone)
+	cb := testArray(t, cfg, 8)
+	eng := NewEngine(cfg, rng.New(9))
+	eng.Inject(cb)
+	before := cb.Verify()
+	left := eng.ProtectArray(cb)
+	if left != before.Count() {
+		t.Fatalf("unprotected array changed: %d vs %d", left, before.Count())
+	}
+	rpt := eng.Report()
+	if rpt.Repaired != 0 || rpt.Compensated != 0 || rpt.RepairWrites != 0 {
+		t.Fatalf("unprotected pipeline repaired: %+v", rpt)
+	}
+}
+
+func TestSpareRemapClearsDeadLines(t *testing.T) {
+	cfg := &Config{
+		Faults:     FaultProfile{RowDeadRate: 0.02, ColDeadRate: 0.02},
+		Protection: ProtectSpareRemap,
+		Policy:     DefaultPolicy(),
+	}
+	cb := testArray(t, cfg, 14)
+	eng := NewEngine(cfg, rng.New(16))
+	eng.Inject(cb)
+	rpt := eng.Report()
+	if rpt.RowsDead == 0 && rpt.ColsDead == 0 {
+		t.Fatal("fixture seed drew no dead lines; pick another seed")
+	}
+	if int(rpt.RowsDead) > cfg.Policy.SpareRows || int(rpt.ColsDead) > cfg.Policy.SpareCols {
+		t.Fatalf("fixture drew more dead lines than spares: %+v", rpt)
+	}
+	left := eng.ProtectArray(cb)
+	rpt = eng.Report()
+	if rpt.RowsRemapped+rpt.ColsRemapped == 0 {
+		t.Fatalf("no lines remapped: %+v", rpt)
+	}
+	if left != 0 {
+		t.Fatalf("dead lines left unmitigated with spares available: %d", left)
+	}
+}
+
+func TestReportMergeAndRender(t *testing.T) {
+	a := Report{ArraysScanned: 1, Repaired: 2, MaxDriftAge: 5}
+	b := Report{ArraysScanned: 2, Repaired: 3, MaxDriftAge: 3, Degraded: true}
+	a.Merge(b)
+	if a.ArraysScanned != 3 || a.Repaired != 5 || a.MaxDriftAge != 5 || !a.Degraded {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	var buf bytes.Buffer
+	a.Render(&buf)
+	if !strings.Contains(buf.String(), "DEGRADED") {
+		t.Fatalf("render missing degraded status:\n%s", buf.String())
+	}
+}
+
+func TestDegradedErrorCarriesReport(t *testing.T) {
+	err := error(&DegradedError{
+		Reason: "test trip",
+		Report: Report{Unmitigated: 7, PairsScanned: 100},
+	})
+	var de *DegradedError
+	if !errors.As(err, &de) {
+		t.Fatal("errors.As failed")
+	}
+	if de.Report.Unmitigated != 7 {
+		t.Fatalf("report lost: %+v", de.Report)
+	}
+	if !strings.Contains(err.Error(), "test trip") || !strings.Contains(err.Error(), "7/100") {
+		t.Fatalf("error text: %s", err.Error())
+	}
+}
+
+func TestStudyConfigLayout(t *testing.T) {
+	c := StudyConfig(0.1, ProtectWriteVerify)
+	if c.Faults.DeviceRate != 0.1 || c.Faults.RowDeadRate != 0.005 || c.Faults.ColDeadRate != 0.005 {
+		t.Fatalf("rates: %+v", c.Faults)
+	}
+	if c.Protection != ProtectWriteVerify || c.Policy.MaxWriteRetries == 0 {
+		t.Fatalf("config: %+v", c)
+	}
+	if !c.Faults.Any() {
+		t.Fatal("study profile reports empty")
+	}
+	if (FaultProfile{DriftTauSteps: 10}).Any() {
+		t.Fatal("drift alone is not an injected fault population")
+	}
+}
