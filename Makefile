@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint fmt-check smoke verify
+.PHONY: build test race lint fmt-check smoke bench-smoke verify
 
 build:
 	$(GO) build ./...
@@ -26,4 +26,10 @@ lint:
 smoke:
 	$(GO) test ./internal/experiments -run TestFaultResilienceSmoke -count=1
 
-verify: build fmt-check lint test race smoke
+# Session-engine throughput smoke: one iteration of every BenchmarkSession
+# variant under the race detector — catches data races in the concurrent
+# batch engine without paying for a full benchmark run.
+bench-smoke:
+	$(GO) test -race -run '^$$' -bench BenchmarkSession -benchtime 1x .
+
+verify: build fmt-check lint test race smoke bench-smoke

@@ -12,11 +12,19 @@ package repro
 // the noise study) train the scaled benchmarks inside the first iteration.
 
 import (
+	"context"
 	"io"
+	"runtime"
+	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/models"
 	"repro/internal/reliability"
+	"repro/internal/rng"
+	"repro/internal/tensor"
 )
 
 // discard renders a result to devnull so rendering code is exercised too.
@@ -281,4 +289,64 @@ func BenchmarkFaultResilience(b *testing.B) {
 		sr := r.Curve(reliability.ProtectSpareRemap).Points
 		b.ReportMetric(none[0].Accuracy-sr[3].Accuracy, "protected_gap_at_5pct")
 	}
+}
+
+// --- Session-engine throughput (program-once / run-many, ISSUE 3) ---
+
+// Shared compiled-session fixture: the MLP workload trained once, plus a
+// 32-image batch. Building it inside the first iteration would swamp the
+// throughput numbers.
+var (
+	sessOnce sync.Once
+	sessPipe *core.Pipeline
+	sessImgs []*tensor.Tensor
+)
+
+func sessionFixture(b *testing.B) (*core.Pipeline, []*tensor.Tensor) {
+	b.Helper()
+	sessOnce.Do(func() {
+		sim := core.New()
+		tr, te := dataset.TrainTest(dataset.MNISTLike, 400, 32, 77)
+		net := models.NewMLP3(1, 16, 10, rng.New(5))
+		p, err := sim.Build(net, tr, te, core.DefaultPipelineConfig())
+		if err != nil {
+			panic(err)
+		}
+		sessPipe = p
+		sessImgs = make([]*tensor.Tensor, 32)
+		for i := range sessImgs {
+			sessImgs[i], _ = te.Sample(i)
+		}
+	})
+	return sessPipe, sessImgs
+}
+
+// benchmarkSession streams the fixture batch through one compiled session
+// at the given parallelism and reports throughput. Identical seeds make
+// every variant's outputs bitwise equal (asserted by the race-enabled
+// tests in internal/arch); here only the clock differs.
+func benchmarkSession(b *testing.B, parallelism int) {
+	pipe, imgs := sessionFixture(b)
+	sess, err := pipe.CompileChip(40, parallelism)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	images := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sess.RunBatch(ctx, imgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		images += len(res)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(images)/b.Elapsed().Seconds(), "img/s")
+}
+
+func BenchmarkSession_Sequential(b *testing.B) { benchmarkSession(b, 1) }
+func BenchmarkSession_Parallel4(b *testing.B)  { benchmarkSession(b, 4) }
+func BenchmarkSession_ParallelNumCPU(b *testing.B) {
+	benchmarkSession(b, runtime.NumCPU())
 }

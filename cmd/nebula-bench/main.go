@@ -10,7 +10,11 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, all.
+// sensitivity, profile, faults, session, all.
+//
+// The session experiment times the program-once / run-many engine
+// (sequential vs batched at -parallel workers) and records the baseline
+// in a JSON file (-benchout, default BENCH_session.json).
 // Analytic experiments (fig1, fig12-17, table3, ablations, sensitivity)
 // run in milliseconds; trained-model experiments (fig4, fig9, fig10,
 // table1, table2, noise, profile, faults) train the scaled benchmarks
@@ -34,6 +38,8 @@ func main() {
 	samples := flag.Int("samples", 30, "test images per accuracy measurement")
 	trials := flag.Int("trials", 3, "Monte-Carlo trials for the noise study")
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	parallel := flag.Int("parallel", 0, "worker count for the session experiment (0 = NumCPU)")
+	benchOut := flag.String("benchout", "BENCH_session.json", "output path for the session throughput record")
 	flag.Parse()
 
 	// writeCSV stores an experiment's data file when -csv is set.
@@ -181,6 +187,9 @@ func main() {
 			writeCSV("sensitivity_baselines", func(f *os.File) error { return figio.SensitivityCSV(f, b) })
 			return nil
 		},
+		"session": func() error {
+			return runSessionBench(64, 40, *parallel, *benchOut)
+		},
 		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
@@ -194,7 +203,7 @@ func main() {
 	order := []string{
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
-		"fig4", "fig9", "fig10", "noise", "profile", "faults",
+		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
 	}
 
 	names := strings.Split(*exp, ",")

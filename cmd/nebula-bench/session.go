@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// sessionBench is the JSON record of the program-once / run-many
+// throughput baseline: one compiled session streaming the test batch
+// sequentially versus through the concurrent engine.
+type sessionBench struct {
+	Workload            string  `json:"workload"`
+	Images              int     `json:"images"`
+	Timesteps           int     `json:"timesteps"`
+	Parallelism         int     `json:"parallelism"`
+	SequentialSec       float64 `json:"sequential_sec"`
+	ParallelSec         float64 `json:"parallel_sec"`
+	SequentialImgPerSec float64 `json:"sequential_img_per_sec"`
+	ParallelImgPerSec   float64 `json:"parallel_img_per_sec"`
+	Speedup             float64 `json:"speedup"`
+	BitwiseIdentical    bool    `json:"bitwise_identical"`
+}
+
+// runSessionBench trains the MLP baseline, compiles one sequential and one
+// parallel session over identically seeded chips, times the same image
+// batch through both, checks the outputs are bitwise identical, and
+// writes the record to outPath.
+func runSessionBench(images, T, parallel int, outPath string) error {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if images < 8 {
+		images = 8
+	}
+	sim := core.New()
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 400, images, 77)
+	net := models.NewMLP3(1, 16, 10, rng.New(5))
+	pipe, err := sim.Build(net, tr, te, core.DefaultPipelineConfig())
+	if err != nil {
+		return err
+	}
+
+	imgs := make([]*tensor.Tensor, images)
+	for i := range imgs {
+		imgs[i], _ = pipe.Test.Sample(i)
+	}
+	ctx := context.Background()
+
+	run := func(parallelism int) ([]*arch.RunResult, time.Duration, error) {
+		sess, err := pipe.CompileChip(T, parallelism)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := sess.RunBatch(ctx, imgs)
+		return res, time.Since(start), err
+	}
+
+	seqRes, seqDur, err := run(1)
+	if err != nil {
+		return err
+	}
+	parRes, parDur, err := run(parallel)
+	if err != nil {
+		return err
+	}
+
+	identical := true
+	for i := range seqRes {
+		sd, pd := seqRes[i].Output.Data(), parRes[i].Output.Data()
+		for j := range sd {
+			//nebula:lint-ignore float-eq bitwise determinism check: any rounding difference is the bug being detected
+			if sd[j] != pd[j] {
+				identical = false
+			}
+		}
+	}
+
+	rec := sessionBench{
+		Workload:            "mlp3-mnistlike",
+		Images:              images,
+		Timesteps:           T,
+		Parallelism:         parallel,
+		SequentialSec:       seqDur.Seconds(),
+		ParallelSec:         parDur.Seconds(),
+		SequentialImgPerSec: float64(images) / seqDur.Seconds(),
+		ParallelImgPerSec:   float64(images) / parDur.Seconds(),
+		Speedup:             seqDur.Seconds() / parDur.Seconds(),
+		BitwiseIdentical:    identical,
+	}
+
+	fmt.Printf("session throughput: %s, %d images, T=%d\n", rec.Workload, images, T)
+	fmt.Printf("  sequential (parallelism 1):  %8.2f img/s  (%v)\n", rec.SequentialImgPerSec, seqDur.Round(time.Millisecond))
+	fmt.Printf("  batched    (parallelism %2d): %8.2f img/s  (%v)\n", parallel, rec.ParallelImgPerSec, parDur.Round(time.Millisecond))
+	fmt.Printf("  speedup %.2fx, bitwise identical: %v\n", rec.Speedup, identical)
+	if !identical {
+		return fmt.Errorf("batched outputs diverged from the sequential run")
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s]\n", outPath)
+	return nil
+}

@@ -6,6 +6,7 @@
 //
 //	nebula-sim -workload vgg13-cifar10
 //	nebula-sim -workload alexnet -timesteps 500 -hybrid 3
+//	nebula-sim -throughput -batch 32 -parallel 8   # session-engine probe
 package main
 
 import (
@@ -43,6 +44,9 @@ func main() {
 	faultRate := flag.Float64("faultrate", 0.05, "device fault rate for -health (lines at rate/20)")
 	protection := flag.String("protection", "spare", "protection level for -health: none|verify|spare")
 	healthSeed := flag.Uint64("health-seed", 2020, "chip seed for -health (totals are deterministic per seed)")
+	throughput := flag.Bool("throughput", false, "run the session-engine throughput probe (batched vs sequential)")
+	batch := flag.Int("batch", 32, "images per batch for -throughput")
+	parallel := flag.Int("parallel", 0, "worker count for -throughput (0 = NumCPU)")
 	flag.Parse()
 
 	ws := workloads()
@@ -64,6 +68,14 @@ func main() {
 	}
 
 	sim := core.New()
+
+	if *throughput {
+		if err := runThroughput(sim, *batch, *timesteps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-sim: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *health {
 		prot, err := reliability.ParseProtection(*protection)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// runThroughput measures the serving throughput of the session engine on
+// a synthetic MLP: the network is converted (unquantized, untrained — the
+// probe measures the simulator, not accuracy) and compiled once per
+// parallelism level, then the same batch streams through both sessions.
+// Identically seeded sessions must agree bit for bit, so the probe also
+// doubles as a determinism check on the installed CPU count.
+func runThroughput(sim *core.Simulator, batch, T, parallel int) error {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if T <= 0 {
+		T = 40
+	}
+	if batch < 4 {
+		batch = 4
+	}
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 64, batch, 7)
+	net := models.NewMLP3(1, 16, 10, rng.New(5))
+	conv, err := convert.Convert(net, tr, convert.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	imgs := make([]*tensor.Tensor, batch)
+	for i := range imgs {
+		imgs[i], _ = te.Sample(i)
+	}
+
+	run := func(parallelism int) ([]*arch.RunResult, time.Duration, error) {
+		chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
+		sess, err := chip.Compile(conv,
+			arch.WithMode(arch.ModeSNN),
+			arch.WithTimesteps(T),
+			arch.WithSeed(sim.Seed),
+			arch.WithParallelism(parallelism),
+			arch.WithInputShape(imgs[0].Shape()...))
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		res, err := sess.RunBatch(context.Background(), imgs)
+		return res, time.Since(start), err
+	}
+
+	seqRes, seqDur, err := run(1)
+	if err != nil {
+		return err
+	}
+	parRes, parDur, err := run(parallel)
+	if err != nil {
+		return err
+	}
+	for i := range seqRes {
+		sd, pd := seqRes[i].Output.Data(), parRes[i].Output.Data()
+		for j := range sd {
+			//nebula:lint-ignore float-eq bitwise determinism check: any rounding difference is the bug being detected
+			if sd[j] != pd[j] {
+				return fmt.Errorf("image %d diverged between sequential and parallel runs", i)
+			}
+		}
+	}
+
+	fmt.Printf("session throughput probe: mlp3 (untrained), %d images, T=%d\n", batch, T)
+	fmt.Printf("  sequential (parallelism 1):  %8.2f img/s  (%v)\n",
+		float64(batch)/seqDur.Seconds(), seqDur.Round(time.Millisecond))
+	fmt.Printf("  batched    (parallelism %2d): %8.2f img/s  (%v)\n",
+		parallel, float64(batch)/parDur.Seconds(), parDur.Round(time.Millisecond))
+	fmt.Printf("  speedup %.2fx, outputs bitwise identical\n", seqDur.Seconds()/parDur.Seconds())
+	return nil
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,13 +41,22 @@ func main() {
 	res := pipe.EvaluateSNN(100, 80)
 	fmt.Printf("converted SNN accuracy: %.4f over %d timesteps\n", res.Accuracy, res.Timesteps)
 
-	// 5. One inference on simulated crossbar hardware.
-	hw, label, err := pipe.RunOnChip(0, 80)
+	// 5. Chip-level inference: compile the network onto simulated crossbar
+	//    hardware once (mapping, programming, protection), then stream a
+	//    batch through the session — the program-once / run-many path.
+	results, labels, err := pipe.RunBatchOnChip(context.Background(), 0, 8, 80, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("chip-level inference: predicted %d (true %d), %d spikes, %d pipeline cycles\n",
-		hw.Prediction, label, hw.Spikes, hw.Cycles)
+	correct := 0
+	for i, hw := range results {
+		if hw.Prediction == labels[i] {
+			correct++
+		}
+	}
+	hw := results[0]
+	fmt.Printf("chip-level inference: %d/%d correct; first image predicted %d (true %d), %d spikes, %d pipeline cycles\n",
+		correct, len(results), hw.Prediction, labels[0], hw.Spikes, hw.Cycles)
 
 	// 6. Energy estimate for the full-size counterpart workload.
 	w := models.FullMLP3()

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/convert"
@@ -72,8 +73,9 @@ type stageHW struct {
 	spill *RUSpillCore
 	// bias currents injected alongside the crossbar evaluation.
 	bias *tensor.Tensor
-	// kmProgram lazily programs the kernel matrix once the number of
-	// time-multiplexed positions is known (conv stages).
+	// kmProgram programs the kernel matrix once the number of
+	// time-multiplexed positions is known (conv stages; invoked by
+	// Compile via programPositions).
 	kmProgram func(positions int) error
 }
 
@@ -89,6 +91,11 @@ type RunResult struct {
 	NoCPackets int64
 	// ADCConversions counts spill-path partial-sum digitizations.
 	ADCConversions int64
+	// Crossbar collects the run's crossbar activity on the session
+	// engine's frozen-conductance path (wear-mode runs accumulate into
+	// the arrays' own counters instead, as the deprecated entry points
+	// always did).
+	Crossbar crossbar.Stats
 }
 
 // buildSNN lowers a converted network onto hardware SNN cores.
@@ -211,155 +218,21 @@ func (ch *Chip) prepare(st *SuperTile) error {
 // hardware. Conv stages time-multiplex output positions over their core
 // with per-position replica neurons; the membrane of every neuron lives
 // in its device between timesteps.
+//
+// Deprecated: RunSNN re-compiles the whole pipeline per call. Use
+// Compile with WithMode(ModeSNN) once, then Run/RunBatch per input; this
+// shim is a Compile + one wear-mode Run with the caller's encoder.
 func (ch *Chip) RunSNN(c *convert.Converted, img *tensor.Tensor, T int, enc *snn.PoissonEncoder) (*RunResult, error) {
-	stages, err := ch.buildSNN(c)
+	sess, err := ch.Compile(c,
+		WithMode(ModeSNN),
+		WithTimesteps(T),
+		WithSharedEncoder(enc),
+		WithInputShape(img.Shape()...),
+		WithWear(true))
 	if err != nil {
 		return nil, err
 	}
-	res := &RunResult{}
-	for t := 0; t < T; t++ {
-		x := enc.Encode(img)
-		for _, s := range stages {
-			x, err = ch.stepStage(s, x, res)
-			if err != nil {
-				return nil, err
-			}
-		}
-		ch.tickRetention(stages, t)
-	}
-	// The read-out stage integrates increments across timesteps; its
-	// accumulator holds the final class potentials.
-	out := stagesOutput(stages)
-	res.Output = out
-	res.Prediction = out.ArgMax()
-	for _, s := range stages {
-		if s.snnCore != nil {
-			res.Cycles += s.snnCore.Stats.Cycles
-			res.Spikes += s.snnCore.Stats.Spikes
-		}
-		if s.spill != nil {
-			res.Cycles += s.spill.Stats.Cycles
-			res.Spikes += s.spill.Stats.Spikes
-			res.ADCConversions += s.spill.ADCConversions
-		}
-	}
-	return res, nil
-}
-
-// stepStage advances one stage by one timestep.
-func (ch *Chip) stepStage(s *stageHW, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
-	switch s.kind {
-	case "conv":
-		h, w := x.Dim(1), x.Dim(2)
-		oh := tensor.ConvOutSize(h, s.kh, s.stride, s.pad)
-		ow := tensor.ConvOutSize(w, s.kw, s.stride, s.pad)
-		if s.snnCore.neurons == nil {
-			// One replica bank per (position, group) pair.
-			if err := s.kmProgram(oh * ow * s.groups); err != nil {
-				return nil, err
-			}
-			if err := ch.prepare(s.snnCore.ST); err != nil {
-				return nil, err
-			}
-		}
-		out := tensor.New(s.outC, oh, ow)
-		gcIn := s.inC / s.groups
-		gcOut := s.outC / s.groups
-		rfg := gcIn * s.kh * s.kw
-		colBuf := make([]float64, rfg)
-		hw := x.Dim(1) * x.Dim(2)
-		for g := 0; g < s.groups; g++ {
-			sub := tensor.FromSlice(x.Data()[g*gcIn*hw:(g+1)*gcIn*hw], gcIn, h, w)
-			cols := tensor.Im2Col(sub, s.kh, s.kw, s.stride, s.pad)
-			for pos := 0; pos < oh*ow; pos++ {
-				for r := 0; r < rfg; r++ {
-					colBuf[r] = cols.At(r, pos)
-				}
-				spikes, err := ch.stepConvGroup(s, g, pos, colBuf)
-				if err != nil {
-					return nil, err
-				}
-				for k := 0; k < gcOut; k++ {
-					out.Set(spikes[g*gcOut+k], g*gcOut+k, pos/ow, pos%ow)
-				}
-			}
-		}
-		// Spikes travel to the consumer stage over the mesh.
-		res.NoCPackets++
-		ch.Mesh.Send(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}, maxInt(1, int(out.Sum())), 0)
-		return out, nil
-	case "dense":
-		flat := x.Reshape(x.Size())
-		var spikes []float64
-		var err error
-		if s.spill != nil {
-			var biasData []float64
-			if s.bias != nil {
-				biasData = s.bias.Data()
-			}
-			spikes, err = s.spill.StepAt(0, flat.Data(), biasData)
-		} else {
-			spikes, err = ch.stepWithBias(s, 0, flat.Data())
-		}
-		if err != nil {
-			return nil, err
-		}
-		res.NoCPackets++
-		return tensor.FromSlice(spikes, len(spikes)), nil
-	case "pool":
-		return s.pool.Step(x), nil
-	case "flatten":
-		return x.Reshape(x.Size()), nil
-	case "output":
-		// Digital accumulation at the routing units.
-		flat := x.Reshape(1, -1)
-		inc := tensor.MatMulTransB(flat, s.outW)
-		if s.outB != nil {
-			inc.Row(0).AddInPlace(s.outB)
-		}
-		if s.outAcc == nil {
-			s.outAcc = tensor.New(s.outW.Dim(0))
-		}
-		s.outAcc.AddInPlace(inc.Reshape(s.outW.Dim(0)))
-		return s.outAcc.Clone(), nil
-	}
-	return nil, fmt.Errorf("arch: unknown stage kind %q", s.kind)
-}
-
-// stepWithBias drives one position through a spiking core, adding the
-// stage bias current before integration by superposing it on the result.
-func (ch *Chip) stepWithBias(s *stageHW, pos int, spikes []float64) ([]float64, error) {
-	if s.bias == nil {
-		return s.snnCore.StepAt(pos, spikes)
-	}
-	// Bias rows: the crossbar reserves a constantly-driven row per the
-	// standard bias mapping; the simulator adds the bias current directly
-	// into the neuron integration by extending the evaluation result.
-	return s.snnCore.stepAtWithBias(pos, spikes, s.bias.Data())
-}
-
-// stepConvGroup drives one group's input window: the full-width spike
-// vector is zero outside the group's rows, so only the group's
-// block-diagonal columns receive current.
-func (ch *Chip) stepConvGroup(s *stageHW, g, pos int, groupSpikes []float64) ([]float64, error) {
-	if s.groups == 1 {
-		return ch.stepWithBias(s, pos, groupSpikes)
-	}
-	// Grouped case: the per-group kernel matrices share the crossbar's
-	// row space (each group's Rf_g rows drive only its gcOut columns, a
-	// block-diagonal layout). The simulator evaluates the shared rows
-	// with this group's window; columns of other groups see the same
-	// rows but their spikes are masked out by the caller.
-	out, err := ch.stepWithBias(s, pos*s.groups+g, groupSpikes)
-	return out, err
-}
-
-func stagesOutput(stages []*stageHW) *tensor.Tensor {
-	last := stages[len(stages)-1]
-	if last.outAcc != nil {
-		return last.outAcc.Clone()
-	}
-	return tensor.New(1)
+	return sess.Run(context.Background(), img)
 }
 
 func maxInt(a, b int) int {

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/convert"
@@ -8,169 +9,91 @@ import (
 	"repro/internal/tensor"
 )
 
-// RunANN executes one image through the same converted (normalized)
-// network in ANN mode: multi-level drivers feed the continuous
-// activations, saturating MTJ neurons clip at 1 (a full domain-wall
-// traversal), and a single pass produces the class scores — the morphable
-// multi-modality of §IV-B4 exercised on identical crossbar contents.
-//
-// Inputs are pixel intensities in [0, 1]; because the converted weights
-// are normalized, every intermediate activation also lives in [0, 1].
-func (ch *Chip) RunANN(c *convert.Converted, img *tensor.Tensor) (*RunResult, error) {
-	res := &RunResult{}
-	x := img
-	for _, st := range c.Stages {
-		layer := c.SNN.Layers[st.SNNLayer]
-		var err error
-		x, err = ch.annStage(layer, x, res)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.Output = x.Clone()
-	res.Prediction = x.ArgMax()
-	return res, nil
+// annStageHW is the compiled hardware realization of one converted stage
+// in ANN mode: multi-level drivers feed the continuous activations,
+// saturating MTJ neurons clip at 1 (a full domain-wall traversal) — the
+// morphable multi-modality of §IV-B4 exercised on identical crossbar
+// contents.
+type annStageHW struct {
+	kind string
+	// core holds the programmed crossbars of a weighted stage.
+	core *ANNCore
+	// conv geometry (kind == "conv")
+	kh, kw, stride, pad int
+	groups, outC, gcIn  int
+	// bias injected at the driver stage before thresholding.
+	bias *tensor.Tensor
+	// pool geometry (kind == "pool")
+	poolK, poolStride int
+	// output weights (kind == "output") — digitally applied at RUs.
+	outW, outB *tensor.Tensor
 }
 
-// annStage executes one converted stage in ANN mode.
-func (ch *Chip) annStage(layer snn.Layer, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
-	switch v := layer.(type) {
-	case *snn.Conv:
-		outC := v.W.Dim(0)
-		kh, kw := v.W.Dim(2), v.W.Dim(3)
-		gcIn := v.W.Dim(1)
-		gcOut := outC / v.Groups
-		rf := gcIn * kh * kw
-		if !FitsInCore(rf, outC) {
-			return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
-		}
-		core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
-		km := v.W.Reshape(outC, rf).Transpose()
-		if err := core.Program(km, ch.WMax); err != nil {
-			return nil, err
-		}
-		if err := ch.prepare(core.ST); err != nil {
-			return nil, err
-		}
-		h, w := x.Dim(1), x.Dim(2)
-		oh := tensor.ConvOutSize(h, kh, v.Stride, v.Pad)
-		ow := tensor.ConvOutSize(w, kw, v.Stride, v.Pad)
-		out := tensor.New(outC, oh, ow)
-		hw := h * w
-		for g := 0; g < v.Groups; g++ {
-			sub := x
-			if v.Groups > 1 {
-				sub = tensor.FromSlice(x.Data()[g*gcIn*hw:(g+1)*gcIn*hw], gcIn, h, w)
+// buildANNStages lowers the converted stages from index `from` onward
+// onto programmed (and protected) ANN cores — the compile-time half of
+// the legacy per-call RunANN path, in the same core/stream order.
+func (ch *Chip) buildANNStages(c *convert.Converted, from int) ([]*annStageHW, error) {
+	var stages []*annStageHW
+	for _, st := range c.Stages[from:] {
+		layer := c.SNN.Layers[st.SNNLayer]
+		switch v := layer.(type) {
+		case *snn.Conv:
+			outC := v.W.Dim(0)
+			kh, kw := v.W.Dim(2), v.W.Dim(3)
+			gcIn := v.W.Dim(1)
+			rf := gcIn * kh * kw
+			if !FitsInCore(rf, outC) {
+				return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
 			}
-			cols := tensor.Im2Col(sub, kh, kw, v.Stride, v.Pad)
-			inputs := make([][]float64, oh*ow)
-			for pos := range inputs {
-				col := make([]float64, cols.Dim(0))
-				for r := range col {
-					col[r] = cols.At(r, pos)
-				}
-				inputs[pos] = col
-			}
-			// Bias is injected at the driver stage before thresholding.
-			sums, err := ch.annExecuteWithBias(core, inputs, v.B)
-			if err != nil {
+			core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
+			km := v.W.Reshape(outC, rf).Transpose()
+			if err := core.Program(km, ch.WMax); err != nil {
 				return nil, err
 			}
-			for pos, row := range sums {
-				for k := g * gcOut; k < (g+1)*gcOut; k++ {
-					out.Set(row[k], k, pos/ow, pos%ow)
-				}
+			if err := ch.prepare(core.ST); err != nil {
+				return nil, err
 			}
+			stages = append(stages, &annStageHW{kind: "conv", core: core,
+				kh: kh, kw: kw, stride: v.Stride, pad: v.Pad,
+				groups: v.Groups, outC: outC, gcIn: gcIn, bias: v.B})
+		case *snn.Dense:
+			km := v.W.Transpose()
+			if !FitsInCore(km.Dim(0), km.Dim(1)) {
+				return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
+			}
+			core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
+			if err := core.Program(km, ch.WMax); err != nil {
+				return nil, err
+			}
+			if err := ch.prepare(core.ST); err != nil {
+				return nil, err
+			}
+			stages = append(stages, &annStageHW{kind: "dense", core: core, bias: v.B})
+		case *snn.AvgPoolIF:
+			stages = append(stages, &annStageHW{kind: "pool", poolK: v.K, poolStride: v.Stride})
+		case *snn.Flatten:
+			stages = append(stages, &annStageHW{kind: "flatten"})
+		case *snn.Output:
+			stages = append(stages, &annStageHW{kind: "output", outW: v.W, outB: v.B})
+		default:
+			return nil, fmt.Errorf("arch: unsupported stage type %T", layer)
 		}
-		res.Cycles += core.Stats.Cycles
-		return out, nil
-	case *snn.Dense:
-		km := v.W.Transpose()
-		if !FitsInCore(km.Dim(0), km.Dim(1)) {
-			return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
-		}
-		core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
-		if err := core.Program(km, ch.WMax); err != nil {
-			return nil, err
-		}
-		if err := ch.prepare(core.ST); err != nil {
-			return nil, err
-		}
-		flat := x.Reshape(x.Size())
-		sums, err := ch.annExecuteWithBias(core, [][]float64{flat.Data()}, v.B)
-		if err != nil {
-			return nil, err
-		}
-		res.Cycles += core.Stats.Cycles
-		return tensor.FromSlice(sums[0], len(sums[0])), nil
-	case *snn.AvgPoolIF:
-		// ANN mode: plain average pooling in the NU datapath (no IF).
-		pooled := avgPool(x, v.K, v.Stride)
-		return pooled, nil
-	case *snn.Flatten:
-		return x.Reshape(x.Size()), nil
-	case *snn.Output:
-		flat := x.Reshape(1, -1)
-		out := tensor.MatMulTransB(flat, v.W)
-		if v.B != nil {
-			out.Row(0).AddInPlace(v.B)
-		}
-		return out.Reshape(v.W.Dim(0)), nil
 	}
-	return nil, fmt.Errorf("arch: unsupported stage type %T", layer)
+	return stages, nil
 }
 
-// annExecuteWithBias runs the core and adds bias before rectification.
-func (ch *Chip) annExecuteWithBias(core *ANNCore, inputs [][]float64, bias *tensor.Tensor) ([][]float64, error) {
-	if bias == nil {
-		return core.Execute(inputs)
-	}
-	// Temporarily lift the clip so bias addition happens pre-saturation,
-	// then re-apply the device transfer.
-	clip := core.Clip
-	core.Clip = 1e18
-	raw, err := core.Execute(inputs)
+// RunANN executes one image through the same converted (normalized)
+// network in ANN mode. Inputs are pixel intensities in [0, 1]; because
+// the converted weights are normalized, every intermediate activation
+// also lives in [0, 1].
+//
+// Deprecated: RunANN re-programs every core per call. Use Compile with
+// WithMode(ModeANN) once, then Run/RunBatch per input; this shim is a
+// Compile + one wear-mode Run.
+func (ch *Chip) RunANN(c *convert.Converted, img *tensor.Tensor) (*RunResult, error) {
+	sess, err := ch.Compile(c, WithMode(ModeANN), WithWear(true))
 	if err != nil {
 		return nil, err
 	}
-	core.Clip = clip
-	bd := bias.Data()
-	for _, row := range raw {
-		for j := range row {
-			v := row[j]
-			if j < len(bd) {
-				v += bd[j]
-			}
-			if v < 0 {
-				v = 0
-			} else if v > clip {
-				v = clip
-			}
-			row[j] = v
-		}
-	}
-	return raw, nil
-}
-
-// avgPool is the NU-datapath average pooling used by the ANN mode.
-func avgPool(x *tensor.Tensor, k, stride int) *tensor.Tensor {
-	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	oh := tensor.ConvOutSize(h, k, stride, 0)
-	ow := tensor.ConvOutSize(w, k, stride, 0)
-	out := tensor.New(c, oh, ow)
-	inv := 1.0 / float64(k*k)
-	for ch := 0; ch < c; ch++ {
-		for oi := 0; oi < oh; oi++ {
-			for oj := 0; oj < ow; oj++ {
-				s := 0.0
-				for ki := 0; ki < k; ki++ {
-					for kj := 0; kj < k; kj++ {
-						s += x.At(ch, oi*stride+ki, oj*stride+kj)
-					}
-				}
-				out.Set(s*inv, ch, oi, oj)
-			}
-		}
-	}
-	return out
+	return sess.Run(context.Background(), img)
 }

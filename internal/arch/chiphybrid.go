@@ -1,7 +1,7 @@
 package arch
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/convert"
 	"repro/internal/snn"
@@ -63,73 +63,21 @@ func (au *AccumulatorUnit) Reset() {
 // the boundary spikes, and the remaining stages run once on ANN cores.
 // nonSpiking counts weighted layers (including the read-out) executed in
 // the ANN domain, mirroring hybrid.Split.
+//
+// Deprecated: RunHybrid re-compiles both domains per call. Use Compile
+// with WithMode(ModeHybrid) and WithHybridSplit once, then Run/RunBatch
+// per input; this shim is a Compile + one wear-mode Run with the
+// caller's encoder.
 func (ch *Chip) RunHybrid(c *convert.Converted, nonSpiking int, img *tensor.Tensor, T int, enc *snn.PoissonEncoder) (*RunResult, error) {
-	// Locate the split: index into c.Stages of the first ANN-domain
-	// weighted stage.
-	var weighted []int
-	for i, s := range c.Stages {
-		if s.Weighted {
-			weighted = append(weighted, i)
-		}
-	}
-	if nonSpiking < 1 || nonSpiking >= len(weighted) {
-		return nil, fmt.Errorf("arch: nonSpiking must be in [1, %d)", len(weighted))
-	}
-	splitStage := weighted[len(weighted)-nonSpiking]
-	// λ of the last IF stage before the cut.
-	lambda := 1.0
-	for _, s := range c.Stages[:splitStage] {
-		if s.Kind != "flatten" {
-			lambda = s.Lambda
-		}
-	}
-
-	// Hardware for the spiking front.
-	frontHW, err := ch.buildSNN(c)
+	sess, err := ch.Compile(c,
+		WithMode(ModeHybrid),
+		WithHybridSplit(nonSpiking),
+		WithTimesteps(T),
+		WithSharedEncoder(enc),
+		WithInputShape(img.Shape()...),
+		WithWear(true))
 	if err != nil {
 		return nil, err
 	}
-	frontHW = frontHW[:c.Stages[splitStage].SNNLayer]
-
-	res := &RunResult{}
-	au := NewAccumulatorUnit(lambda)
-	for t := 0; t < T; t++ {
-		x := enc.Encode(img)
-		for _, s := range frontHW {
-			x, err = ch.stepStage(s, x, res)
-			if err != nil {
-				return nil, err
-			}
-		}
-		au.Accumulate(x)
-		ch.tickRetention(frontHW, t)
-	}
-	for _, s := range frontHW {
-		if s.snnCore != nil {
-			res.Cycles += s.snnCore.Stats.Cycles
-			res.Spikes += s.snnCore.Stats.Spikes
-		}
-		if s.spill != nil {
-			res.Cycles += s.spill.Stats.Cycles
-			res.Spikes += s.spill.Stats.Spikes
-			res.ADCConversions += s.spill.ADCConversions
-		}
-	}
-
-	// ANN tail on the recovered activations, on ANN-core hardware. The
-	// recovered activations are in the source (unnormalized) scale of the
-	// boundary; renormalize to [0,1] with λ so the normalized weights of
-	// the remaining stages apply directly.
-	x := au.Read()
-	x.ScaleInPlace(1 / lambda)
-	for _, st := range c.Stages[splitStage:] {
-		layer := c.SNN.Layers[st.SNNLayer]
-		x, err = ch.annStage(layer, x, res)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.Output = x.Clone()
-	res.Prediction = x.ArgMax()
-	return res, nil
+	return sess.Run(context.Background(), img)
 }

@@ -126,13 +126,6 @@ func (c *SNNCore) Step(spikes []float64) ([]float64, error) {
 	return c.StepAt(0, spikes)
 }
 
-// stepAtWithBias is StepAt with a per-kernel bias current added to the
-// crossbar sum before integration, modelling the constantly-driven bias
-// row of the standard crossbar mapping.
-func (c *SNNCore) stepAtWithBias(pos int, spikes, bias []float64) ([]float64, error) {
-	return c.step(pos, spikes, bias)
-}
-
 // StepAt advances one timestep for output position pos: binary input
 // spikes drive the crossbar, the summed source-line current displaces
 // each position-neuron's domain wall in proportion to its membrane
@@ -164,13 +157,25 @@ func (c *SNNCore) step(pos int, spikes, bias []float64) ([]float64, error) {
 			}
 		}
 	}
-	out := make([]float64, len(sums))
-	p := c.ST.P
-	// Map a membrane increment of VTh to a full wall traversal within
-	// one 110 ns cycle: current = increment/VTh · (current that moves the
-	// wall the full length in one pulse) + the depinning offset.
-	span := p.LengthNM / (p.MobilityNMPerUAns * p.PulseNS)
 	bank := c.neurons[pos*c.kernels : (pos+1)*c.kernels]
+	out, fired := integrateBank(c.ST.P, c.VTh, bank, sums)
+	c.Stats.Spikes += fired
+	c.Stats.Cycles++
+	c.Stats.EDRAMWrites++
+	return out, nil
+}
+
+// integrateBank drives one replica bank of MTJ neurons with the evaluated
+// membrane increments and returns the binary spike vector plus the number
+// of spikes emitted. It maps a membrane increment of VTh to a full wall
+// traversal within one 110 ns cycle: current = increment/VTh · (current
+// that moves the wall the full length in one pulse) + the depinning
+// offset. Shared by SNNCore (core-owned neurons) and the session engine
+// (per-run neuron banks).
+func integrateBank(p device.Params, vth float64, bank []*device.SpikingNeuron, sums []float64) ([]float64, int64) {
+	out := make([]float64, len(sums))
+	span := p.LengthNM / (p.MobilityNMPerUAns * p.PulseNS)
+	var spikes int64
 	for i, inc := range sums {
 		if inc == 0 {
 			continue
@@ -179,18 +184,16 @@ func (c *SNNCore) step(pos int, spikes, bias []float64) ([]float64, error) {
 		if mag < 0 {
 			mag = -mag
 		}
-		cur := mag/c.VTh*span + p.DepinningCurrentUA
+		cur := mag/vth*span + p.DepinningCurrentUA
 		if inc < 0 {
 			cur = -cur // inhibition drives the wall back toward reset
 		}
 		if bank[i].Integrate(cur, p.PulseNS) {
 			out[i] = 1
-			c.Stats.Spikes++
+			spikes++
 		}
 	}
-	c.Stats.Cycles++
-	c.Stats.EDRAMWrites++
-	return out, nil
+	return out, spikes
 }
 
 // Membranes returns the normalized membrane potentials (wall positions)

@@ -1,0 +1,617 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/noc"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// This file is the session execution engine: the unified stage stepper
+// shared by every mode, the per-run scratch arena, and the RunBatch
+// worker pool. One implementation serves both execution regimes — the
+// wear path (sequential, mutating crossbar reads, retention ticking,
+// mesh traffic: the semantics of the deprecated entry points) and the
+// frozen-conductance path (wear-free crossbar reads against programmed
+// state, safe for any number of concurrent workers).
+
+// runStreams are the two private RNG streams reserved for one input:
+// the encoder stream and the crossbar read-noise stream. Reservation
+// happens in input order under the session mutex, which is what makes
+// batched results bitwise identical to sequential runs at any
+// parallelism.
+type runStreams struct {
+	enc, noise *rng.Rand
+}
+
+// reserveStreams draws n stream pairs from the session parent in input
+// order.
+func (s *Session) reserveStreams(n int) []runStreams {
+	out := make([]runStreams, n)
+	s.mu.Lock()
+	for i := range out {
+		out[i].enc = s.streams.Split()
+		out[i].noise = s.streams.Split()
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// runState is the per-run mutable half of a compiled session: one entry
+// per spiking stage plus the hybrid accumulator. Instances are recycled
+// through the session arena; reset returns every component to the
+// post-programming rest state so each run is an independent inference.
+type runState struct {
+	stages []*stageRun
+	au     *AccumulatorUnit
+}
+
+// stageRun holds one stage's per-run state. Exactly one group of fields
+// is populated, matching the stage kind.
+type stageRun struct {
+	// neurons is the position-replica MTJ bank of an in-core stage.
+	neurons []*device.SpikingNeuron
+	// membranes are the RU registers of a spill stage.
+	membranes []float64
+	// poolIF is the IF bank following NU average pooling.
+	poolIF *snn.IFState
+	// outAcc accumulates read-out increments across timesteps.
+	outAcc *tensor.Tensor
+}
+
+// newRunState allocates scratch state shaped for the compiled pipeline.
+func (s *Session) newRunState() *runState {
+	st := &runState{stages: make([]*stageRun, len(s.snnStages))}
+	for i, hw := range s.snnStages {
+		sr := &stageRun{}
+		switch {
+		case hw.snnCore != nil:
+			sr.neurons = make([]*device.SpikingNeuron, len(hw.snnCore.neurons))
+			for j := range sr.neurons {
+				sr.neurons[j] = device.NewSpikingNeuron(hw.snnCore.ST.P)
+			}
+		case hw.spill != nil:
+			sr.membranes = make([]float64, len(hw.spill.membranes))
+		case hw.kind == "pool":
+			sr.poolIF = snn.NewIFState(1.0, snn.ResetToZero)
+		}
+		st.stages[i] = sr
+	}
+	if s.cfg.mode == ModeHybrid {
+		st.au = NewAccumulatorUnit(s.lambda)
+	}
+	return st
+}
+
+// reset returns the scratch state to rest.
+func (st *runState) reset() {
+	for _, sr := range st.stages {
+		for _, n := range sr.neurons {
+			n.Reset()
+		}
+		for i := range sr.membranes {
+			sr.membranes[i] = 0
+		}
+		if sr.poolIF != nil {
+			sr.poolIF.Reset()
+		}
+		sr.outAcc = nil
+	}
+	if st.au != nil {
+		st.au.Reset()
+	}
+}
+
+// execEnv parameterizes one run's execution regime.
+type execEnv struct {
+	ch   *Chip
+	wear bool
+	// noise is the run's private read-noise stream (nil when the chip has
+	// no noise generator or in wear mode, where arrays draw from their
+	// own streams).
+	noise *rng.Rand
+	// cross collects crossbar activity on the frozen-conductance path
+	// (nil in wear mode, where the arrays' shared counters accumulate).
+	cross *crossbar.Stats
+}
+
+// evaluate drives a super-tile through the regime's read path.
+func (env *execEnv) evaluate(st *SuperTile, in []float64) ([]float64, error) {
+	if env.wear {
+		return st.Evaluate(in)
+	}
+	return st.EvaluateRead(in, env.noise, env.cross)
+}
+
+// coreStep advances one in-core spiking position by one timestep against
+// the run's private neuron bank, mirroring SNNCore.step cycle for cycle.
+func (env *execEnv) coreStep(core *SNNCore, bank []*device.SpikingNeuron, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+	if (pos+1)*core.kernels > len(bank) {
+		return nil, fmt.Errorf("arch: position %d beyond allocated replicas", pos)
+	}
+	res.Cycles++ // cycle 1: eDRAM → IB
+	sums, err := env.evaluate(core.ST, in)
+	if err != nil {
+		return nil, err
+	}
+	res.Cycles++ // cycle 2: drive crossbars, integrate at NU
+	if bias != nil {
+		for i := range sums {
+			if i < len(bias) {
+				sums[i] += bias[i]
+			}
+		}
+	}
+	out, spikes := integrateBank(core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
+	res.Spikes += spikes
+	res.Cycles++ // cycle 3: OB → eDRAM
+	return out, nil
+}
+
+// spillStep advances one spill-stage position against the run's private
+// RU membrane registers, mirroring RUSpillCore.StepAt.
+func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+	if (pos+1)*sp.kernels > len(membranes) {
+		return nil, fmt.Errorf("arch: position %d beyond allocated registers", pos)
+	}
+	if len(in) != sp.rowBounds[len(sp.rowBounds)-1] {
+		return nil, fmt.Errorf("arch: input length %d, want %d", len(in), sp.rowBounds[len(sp.rowBounds)-1])
+	}
+	res.Cycles++ // fetch
+	total := make([]float64, sp.kernels)
+	for b, st := range sp.blocks {
+		part, err := env.evaluate(st, in[sp.rowBounds[b]:sp.rowBounds[b+1]])
+		if err != nil {
+			return nil, err
+		}
+		// Digitize the block's partial sums (one conversion per kernel).
+		for kIdx, v := range part {
+			total[kIdx] += sp.quantizePartial(v)
+		}
+		res.ADCConversions += int64(sp.kernels)
+		res.Cycles++ // one digitization cycle per block (≤128/cycle)
+	}
+	res.Cycles++ // reduce + activate at the RU
+	bank := membranes[pos*sp.kernels : (pos+1)*sp.kernels]
+	out := make([]float64, sp.kernels)
+	for kIdx := range bank {
+		inc := total[kIdx]
+		if bias != nil && kIdx < len(bias) {
+			inc += bias[kIdx]
+		}
+		bank[kIdx] += inc
+		if bank[kIdx] >= sp.VTh {
+			out[kIdx] = 1
+			bank[kIdx] -= sp.VTh
+			res.Spikes++
+		}
+	}
+	res.Cycles++ // write back
+	return out, nil
+}
+
+// biasData unwraps an optional bias tensor.
+func biasData(b *tensor.Tensor) []float64 {
+	if b == nil {
+		return nil
+	}
+	return b.Data()
+}
+
+// stepStage advances one spiking stage by one timestep.
+func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+	switch hw.kind {
+	case "conv":
+		if hw.snnCore.neurons == nil {
+			return nil, fmt.Errorf("arch: conv stage not programmed (compile with WithInputShape)")
+		}
+		h, w := x.Dim(1), x.Dim(2)
+		oh := tensor.ConvOutSize(h, hw.kh, hw.stride, hw.pad)
+		ow := tensor.ConvOutSize(w, hw.kw, hw.stride, hw.pad)
+		out := tensor.New(hw.outC, oh, ow)
+		gcIn := hw.inC / hw.groups
+		gcOut := hw.outC / hw.groups
+		rfg := gcIn * hw.kh * hw.kw
+		colBuf := make([]float64, rfg)
+		area := h * w
+		for g := 0; g < hw.groups; g++ {
+			sub := tensor.FromSlice(x.Data()[g*gcIn*area:(g+1)*gcIn*area], gcIn, h, w)
+			cols := tensor.Im2Col(sub, hw.kh, hw.kw, hw.stride, hw.pad)
+			for pos := 0; pos < oh*ow; pos++ {
+				for r := 0; r < rfg; r++ {
+					colBuf[r] = cols.At(r, pos)
+				}
+				// Grouped case: per-group kernel matrices share the row
+				// space; each (position, group) pair owns a replica bank.
+				bankPos := pos
+				if hw.groups > 1 {
+					bankPos = pos*hw.groups + g
+				}
+				spikes, err := env.coreStep(hw.snnCore, sr.neurons, bankPos, colBuf, biasData(hw.bias), res)
+				if err != nil {
+					return nil, err
+				}
+				for k := 0; k < gcOut; k++ {
+					out.Set(spikes[g*gcOut+k], g*gcOut+k, pos/ow, pos%ow)
+				}
+			}
+		}
+		// Spikes travel to the consumer stage over the mesh; the shared
+		// mesh simulator is only driven on the sequential wear path.
+		res.NoCPackets++
+		if env.wear {
+			env.ch.Mesh.Send(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}, maxInt(1, int(out.Sum())), 0)
+		}
+		return out, nil
+	case "dense":
+		flat := x.Reshape(x.Size())
+		var spikes []float64
+		var err error
+		if hw.spill != nil {
+			spikes, err = env.spillStep(hw.spill, sr.membranes, 0, flat.Data(), biasData(hw.bias), res)
+		} else {
+			spikes, err = env.coreStep(hw.snnCore, sr.neurons, 0, flat.Data(), biasData(hw.bias), res)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.NoCPackets++
+		return tensor.FromSlice(spikes, len(spikes)), nil
+	case "pool":
+		return sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride)), nil
+	case "flatten":
+		return x.Reshape(x.Size()), nil
+	case "output":
+		// Digital accumulation at the routing units.
+		flat := x.Reshape(1, -1)
+		inc := tensor.MatMulTransB(flat, hw.outW)
+		if hw.outB != nil {
+			inc.Row(0).AddInPlace(hw.outB)
+		}
+		if sr.outAcc == nil {
+			sr.outAcc = tensor.New(hw.outW.Dim(0))
+		}
+		sr.outAcc.AddInPlace(inc.Reshape(hw.outW.Dim(0)))
+		return sr.outAcc.Clone(), nil
+	}
+	return nil, fmt.Errorf("arch: unknown stage kind %q", hw.kind)
+}
+
+// annExec drives a batch of input vectors through an ANN core with the
+// stage bias injected pre-saturation, mirroring the legacy
+// Execute/annExecuteWithBias pair without mutating the shared core.
+func (env *execEnv) annExec(core *ANNCore, inputs [][]float64, bias *tensor.Tensor, res *RunResult) ([][]float64, error) {
+	bd := biasData(bias)
+	out := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		res.Cycles++ // cycle 1: eDRAM → IB
+		sums, err := env.evaluate(core.ST, in)
+		if err != nil {
+			return nil, err
+		}
+		res.Cycles++ // cycle 2: drive crossbars, threshold at NU
+		row := make([]float64, len(sums))
+		for j, v := range sums {
+			if bd != nil {
+				// Bias is added pre-saturation: rectify the raw sum at a
+				// lifted ceiling, inject the bias, then apply the device
+				// transfer — identical to the deprecated clip-lift dance.
+				if v < 0 {
+					v = 0
+				} else if v > 1e18 {
+					v = 1e18
+				}
+				if j < len(bd) {
+					v += bd[j]
+				}
+			}
+			if v < 0 {
+				v = 0
+			} else if v > core.Clip {
+				v = core.Clip
+			}
+			row[j] = v
+		}
+		out[i] = row
+		res.Cycles++ // cycle 3: OB → eDRAM
+	}
+	return out, nil
+}
+
+// annStage executes one compiled stage in ANN mode.
+func (env *execEnv) annStage(hw *annStageHW, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+	switch hw.kind {
+	case "conv":
+		h, w := x.Dim(1), x.Dim(2)
+		oh := tensor.ConvOutSize(h, hw.kh, hw.stride, hw.pad)
+		ow := tensor.ConvOutSize(w, hw.kw, hw.stride, hw.pad)
+		out := tensor.New(hw.outC, oh, ow)
+		gcOut := hw.outC / hw.groups
+		area := h * w
+		for g := 0; g < hw.groups; g++ {
+			sub := x
+			if hw.groups > 1 {
+				sub = tensor.FromSlice(x.Data()[g*hw.gcIn*area:(g+1)*hw.gcIn*area], hw.gcIn, h, w)
+			}
+			cols := tensor.Im2Col(sub, hw.kh, hw.kw, hw.stride, hw.pad)
+			inputs := make([][]float64, oh*ow)
+			for pos := range inputs {
+				col := make([]float64, cols.Dim(0))
+				for r := range col {
+					col[r] = cols.At(r, pos)
+				}
+				inputs[pos] = col
+			}
+			sums, err := env.annExec(hw.core, inputs, hw.bias, res)
+			if err != nil {
+				return nil, err
+			}
+			for pos, row := range sums {
+				for k := g * gcOut; k < (g+1)*gcOut; k++ {
+					out.Set(row[k], k, pos/ow, pos%ow)
+				}
+			}
+		}
+		return out, nil
+	case "dense":
+		flat := x.Reshape(x.Size())
+		sums, err := env.annExec(hw.core, [][]float64{flat.Data()}, hw.bias, res)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.FromSlice(sums[0], len(sums[0])), nil
+	case "pool":
+		// ANN mode: plain average pooling in the NU datapath (no IF).
+		return snn.AvgPool(x, hw.poolK, hw.poolStride), nil
+	case "flatten":
+		return x.Reshape(x.Size()), nil
+	case "output":
+		flat := x.Reshape(1, -1)
+		out := tensor.MatMulTransB(flat, hw.outW)
+		if hw.outB != nil {
+			out.Row(0).AddInPlace(hw.outB)
+		}
+		return out.Reshape(hw.outW.Dim(0)), nil
+	}
+	return nil, fmt.Errorf("arch: unknown ANN stage kind %q", hw.kind)
+}
+
+// execANN runs one continuous-activation pass.
+func (s *Session) execANN(ctx context.Context, img *tensor.Tensor, env *execEnv) (*RunResult, error) {
+	res := &RunResult{}
+	x := img
+	for _, hw := range s.annStages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		x, err = env.annStage(hw, x, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Output = x.Clone()
+	res.Prediction = x.ArgMax()
+	return res, nil
+}
+
+// execSNN runs T encoded timesteps through the spiking pipeline.
+// Cancellation is checked between timesteps so a hung experiment is
+// killable mid-window.
+func (s *Session) execSNN(ctx context.Context, img *tensor.Tensor, env *execEnv, enc snn.Encoder, st *runState) (*RunResult, error) {
+	res := &RunResult{}
+	for t := 0; t < s.cfg.timesteps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x := enc.Encode(img)
+		for i, hw := range s.snnStages {
+			var err error
+			x, err = env.stepStage(hw, st.stages[i], x, res)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if env.wear {
+			s.chip.tickRetention(s.snnStages, t)
+		}
+	}
+	// The read-out stage integrates increments across timesteps; its
+	// accumulator holds the final class potentials.
+	out := runOutput(st, s.snnStages)
+	res.Output = out
+	res.Prediction = out.ArgMax()
+	return res, nil
+}
+
+// execHybrid runs the spiking front, accumulates boundary spikes at the
+// AU, and finishes with the compiled ANN tail.
+func (s *Session) execHybrid(ctx context.Context, img *tensor.Tensor, env *execEnv, enc snn.Encoder, st *runState) (*RunResult, error) {
+	res := &RunResult{}
+	for t := 0; t < s.cfg.timesteps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x := enc.Encode(img)
+		for i, hw := range s.snnStages {
+			var err error
+			x, err = env.stepStage(hw, st.stages[i], x, res)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st.au.Accumulate(x)
+		if env.wear {
+			s.chip.tickRetention(s.snnStages, t)
+		}
+	}
+	// The recovered activations are in the source (unnormalized) scale of
+	// the boundary; renormalize to [0,1] with λ so the normalized weights
+	// of the remaining stages apply directly.
+	x := st.au.Read()
+	x.ScaleInPlace(1 / s.lambda)
+	for _, hw := range s.annStages {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		x, err = env.annStage(hw, x, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Output = x.Clone()
+	res.Prediction = x.ArgMax()
+	return res, nil
+}
+
+// runOutput reads the final class potentials from the per-run read-out
+// accumulator.
+func runOutput(st *runState, stages []*stageHW) *tensor.Tensor {
+	if n := len(stages); n > 0 {
+		if acc := st.stages[n-1].outAcc; acc != nil {
+			return acc.Clone()
+		}
+	}
+	return tensor.New(1)
+}
+
+// runOne executes a single inference with the given reserved streams.
+func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStreams) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	env := &execEnv{ch: s.chip, wear: s.cfg.wear}
+	if env.wear {
+		// Wear runs mutate the programmed arrays, the mesh and the chip
+		// health report; serialize them.
+		s.wearMu.Lock()
+		defer s.wearMu.Unlock()
+	} else {
+		if s.chip.noise != nil {
+			env.noise = rs.noise
+		}
+		env.cross = &crossbar.Stats{}
+	}
+	var enc snn.Encoder
+	if s.cfg.mode != ModeANN {
+		enc = s.cfg.sharedEnc
+		if enc == nil {
+			enc = s.cfg.encFactory(rs.enc)
+		}
+	}
+	st := s.arena.Get().(*runState)
+	st.reset()
+	defer s.arena.Put(st)
+	var res *RunResult
+	var err error
+	switch s.cfg.mode {
+	case ModeANN:
+		res, err = s.execANN(ctx, input, env)
+	case ModeSNN:
+		res, err = s.execSNN(ctx, input, env, enc, st)
+	default:
+		res, err = s.execHybrid(ctx, input, env, enc, st)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if env.cross != nil {
+		res.Crossbar = *env.cross
+	}
+	return res, nil
+}
+
+// Run executes one inference. Each call reserves the next pair of
+// per-run RNG streams, so a loop of Run calls is bitwise identical to
+// one RunBatch over the same inputs.
+func (s *Session) Run(ctx context.Context, input *tensor.Tensor) (*RunResult, error) {
+	return s.runOne(ctx, input, s.reserveStreams(1)[0])
+}
+
+// RunBatch executes a batch of inferences across the session's worker
+// pool and returns one result per input, in input order. Per-run RNG
+// streams are reserved in input order before any worker starts, so the
+// outputs are bitwise identical to calling Run on each input
+// sequentially, at any parallelism. Cancellation is honoured between
+// batch items and between the timesteps of each spiking run; on error
+// the first observed failure is returned and the batch is abandoned.
+func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*RunResult, error) {
+	if len(inputs) == 0 {
+		return nil, nil
+	}
+	streams := s.reserveStreams(len(inputs))
+	results := make([]*RunResult, len(inputs))
+	par := s.Parallelism(len(inputs))
+	if par <= 1 {
+		for i, in := range inputs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := s.runOne(ctx, in, streams[i])
+			if err != nil {
+				return nil, fmt.Errorf("arch: batch input %d: %w", i, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(inputs))
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < par; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idx {
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := s.runOne(cctx, inputs[i], streams[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range inputs {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < par; w++ {
+		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer the lowest-index real failure over cancellations it caused.
+	var first error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("arch: batch input %d: %w", i, err)
+		if !errors.Is(err, context.Canceled) {
+			return nil, wrapped
+		}
+		if first == nil {
+			first = wrapped
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return results, nil
+}

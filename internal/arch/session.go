@@ -1,0 +1,333 @@
+package arch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/convert"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// This file is the program-once / run-many inference API. Compile performs
+// everything the paper amortizes across requests — mapping, crossbar
+// programming, fault injection and the BIST/protect pipeline — exactly
+// once, and returns a Session whose Run/RunBatch stream inputs through the
+// programmed hardware. The compiled state (super-tiles, geometry, weights)
+// is immutable during runs; everything an inference mutates (neuron
+// membranes, RU registers, pooling IF state, read-out accumulators,
+// statistics) lives in per-run state drawn from a sync.Pool arena, so
+// batches execute concurrently and still reproduce the sequential results
+// bit for bit.
+
+// Mode selects the operating modality of a compiled session — the
+// morphable multi-modality of §IV-B4 exercised on identical crossbar
+// contents.
+type Mode int
+
+const (
+	// ModeANN runs a single continuous-activation pass.
+	ModeANN Mode = iota
+	// ModeSNN runs T encoded timesteps through spiking cores.
+	ModeSNN
+	// ModeHybrid runs a spiking front for T timesteps, accumulates the
+	// boundary spikes digitally, and finishes with one ANN pass.
+	ModeHybrid
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeANN:
+		return "ann"
+	case ModeSNN:
+		return "snn"
+	case ModeHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// CompileError reports a failed session compilation. It wraps the
+// underlying cause — notably *reliability.DegradedError when the
+// BIST/protect pipeline refuses a core — so errors.Is / errors.As reach
+// through it.
+type CompileError struct {
+	// Mode is the requested operating mode.
+	Mode Mode
+	// Model names the converted network being compiled.
+	Model string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("arch: compile %s session for %q: %v", e.Mode, e.Model, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// EncoderFactory builds a per-run input encoder from that run's private
+// RNG stream. It must not capture shared mutable state: the engine calls
+// it once per input, possibly from concurrent workers.
+type EncoderFactory func(r *rng.Rand) snn.Encoder
+
+// sessionConfig collects the functional-option state of one Compile call.
+type sessionConfig struct {
+	mode        Mode
+	timesteps   int
+	hybridSplit int
+	parallelism int
+	seed        uint64
+	seedSet     bool
+	encFactory  EncoderFactory
+	sharedEnc   snn.Encoder
+	inShape     []int
+	wear        bool
+}
+
+// Option configures Compile.
+type Option func(*sessionConfig)
+
+// WithMode selects the operating modality (default ModeANN).
+func WithMode(m Mode) Option { return func(c *sessionConfig) { c.mode = m } }
+
+// WithTimesteps sets the spiking evidence window. Required (≥ 1) for
+// ModeSNN and ModeHybrid; ignored by ModeANN.
+func WithTimesteps(t int) Option { return func(c *sessionConfig) { c.timesteps = t } }
+
+// WithHybridSplit sets how many trailing weighted layers (including the
+// read-out) run in the ANN domain, mirroring hybrid.Split. Required for
+// ModeHybrid.
+func WithHybridSplit(nonSpiking int) Option {
+	return func(c *sessionConfig) { c.hybridSplit = nonSpiking }
+}
+
+// WithParallelism bounds the number of worker goroutines RunBatch uses
+// (n ≤ 0 or omitted: runtime.NumCPU()). Results are bitwise independent
+// of the setting; it only trades wall-clock for cores.
+func WithParallelism(n int) Option { return func(c *sessionConfig) { c.parallelism = n } }
+
+// WithEncoder installs a factory building each run's input encoder from
+// that run's private RNG stream (default: a PoissonEncoder at the model's
+// conversion gain). Spiking modes only.
+func WithEncoder(f EncoderFactory) Option { return func(c *sessionConfig) { c.encFactory = f } }
+
+// WithSharedEncoder installs one caller-owned encoder used by every run.
+// A shared encoder serializes the session (parallelism 1): its internal
+// RNG state would otherwise be raced and reorder draws.
+func WithSharedEncoder(e snn.Encoder) Option { return func(c *sessionConfig) { c.sharedEnc = e } }
+
+// WithInputShape declares the input tensor shape (c, h, w). Spiking
+// convolution stages need it at compile time to size their
+// position-replica neuron banks; dense-only models may omit it.
+func WithInputShape(dims ...int) Option {
+	return func(c *sessionConfig) { c.inShape = append([]int(nil), dims...) }
+}
+
+// WithSeed seeds the session's RNG tree, from which every run reserves
+// its private encoder and read-noise streams. Two sessions compiled with
+// the same seed over the same chip produce identical run streams.
+func WithSeed(seed uint64) Option {
+	return func(c *sessionConfig) { c.seed = seed; c.seedSet = true }
+}
+
+// WithWear(true) makes every run model per-evaluation wear exactly like
+// the deprecated entry points: crossbar reads apply read disturb and
+// shared activity counters, the retention clock ticks (and the scrub
+// policy runs) per timestep, and spikes traverse the shared mesh. Wear
+// mutates the programmed arrays, so wear sessions always execute
+// sequentially regardless of WithParallelism.
+func WithWear(on bool) Option { return func(c *sessionConfig) { c.wear = on } }
+
+// defaultSessionSeed seeds sessions that set no WithSeed; a fixed
+// constant keeps the default fully reproducible run to run.
+const defaultSessionSeed uint64 = 0x9e3779b97f4a7c15
+
+// Session is a compiled inference pipeline: programmed (and protected)
+// crossbar hardware plus the run configuration. The compiled state is
+// read-only during runs; Run and RunBatch are safe for concurrent use
+// unless the session was compiled WithWear or WithSharedEncoder.
+type Session struct {
+	chip  *Chip
+	cfg   sessionConfig
+	model *convert.Converted
+
+	// snnStages is the spiking pipeline (ModeSNN: all stages; ModeHybrid:
+	// the front up to the cut). annStages is the continuous pipeline
+	// (ModeANN: all stages; ModeHybrid: the tail from the cut).
+	snnStages []*stageHW
+	annStages []*annStageHW
+	// lambda is the activation scale at the hybrid boundary.
+	lambda float64
+
+	// mu guards the stream reservation; streams is the session RNG parent
+	// from which each run draws its two private streams in input order.
+	mu      sync.Mutex
+	streams *rng.Rand
+	// wearMu serializes wear-mode runs, which mutate the programmed
+	// arrays and the chip health report.
+	wearMu sync.Mutex
+	// arena recycles per-run scratch state across runs and workers.
+	arena sync.Pool
+}
+
+// Compile lowers a converted network onto the chip for the requested
+// mode: cores are created and programmed, conv position replicas are
+// allocated, and — when the reliability subsystem is enabled — the fault
+// profile is injected and the BIST/protect pipeline runs, exactly once.
+// All errors are returned as *CompileError wrapping the cause (including
+// *reliability.DegradedError when protection is exhausted).
+func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, error) {
+	cfg := sessionConfig{parallelism: 0}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	fail := func(err error) (*Session, error) {
+		return nil, &CompileError{Mode: cfg.mode, Model: model.SNN.Name(), Err: err}
+	}
+	switch cfg.mode {
+	case ModeANN, ModeSNN, ModeHybrid:
+	default:
+		return fail(fmt.Errorf("unknown mode %d", int(cfg.mode)))
+	}
+	if cfg.mode != ModeANN && cfg.timesteps < 1 {
+		return fail(fmt.Errorf("%s mode needs WithTimesteps ≥ 1, got %d", cfg.mode, cfg.timesteps))
+	}
+	if cfg.encFactory == nil {
+		gain := model.Cfg.Gain
+		if gain <= 0 {
+			gain = 1.0
+		}
+		cfg.encFactory = func(r *rng.Rand) snn.Encoder { return snn.NewPoissonEncoder(gain, r) }
+	}
+
+	s := &Session{chip: ch, cfg: cfg, model: model}
+	var err error
+	switch cfg.mode {
+	case ModeANN:
+		s.annStages, err = ch.buildANNStages(model, 0)
+	case ModeSNN:
+		s.snnStages, err = ch.buildSNN(model)
+		if err == nil {
+			err = ch.programPositions(s.snnStages, cfg.inShape)
+		}
+	case ModeHybrid:
+		var splitStage int
+		splitStage, s.lambda, err = hybridCut(model, cfg.hybridSplit)
+		if err == nil {
+			// Build the full spiking pipeline and truncate at the cut,
+			// mirroring the legacy entry point so core and stream
+			// allocation orders are identical.
+			s.snnStages, err = ch.buildSNN(model)
+		}
+		if err == nil {
+			s.snnStages = s.snnStages[:model.Stages[splitStage].SNNLayer]
+			err = ch.programPositions(s.snnStages, cfg.inShape)
+		}
+		if err == nil {
+			s.annStages, err = ch.buildANNStages(model, splitStage)
+		}
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	seed := defaultSessionSeed
+	if cfg.seedSet {
+		seed = cfg.seed
+	}
+	s.streams = rng.New(seed)
+	s.arena.New = func() interface{} { return s.newRunState() }
+	return s, nil
+}
+
+// Mode returns the session's operating mode.
+func (s *Session) Mode() Mode { return s.cfg.mode }
+
+// Timesteps returns the spiking evidence window (0 for ModeANN).
+func (s *Session) Timesteps() int {
+	if s.cfg.mode == ModeANN {
+		return 0
+	}
+	return s.cfg.timesteps
+}
+
+// Parallelism returns the worker bound RunBatch will use for n inputs.
+func (s *Session) Parallelism(n int) int {
+	if s.cfg.wear || s.cfg.sharedEnc != nil {
+		return 1
+	}
+	p := s.cfg.parallelism
+	if p <= 0 {
+		p = runtime.NumCPU()
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// programPositions allocates and protects the position-replica banks of
+// spiking conv stages by propagating the input shape through the
+// pipeline; the legacy entry points did this lazily on the first
+// timestep. Dense-only pipelines need no shape.
+func (ch *Chip) programPositions(stages []*stageHW, shape []int) error {
+	h, w := 0, 0
+	haveShape := len(shape) == 3
+	if haveShape {
+		h, w = shape[1], shape[2]
+	}
+	for _, s := range stages {
+		switch s.kind {
+		case "conv":
+			if !haveShape {
+				return fmt.Errorf("model has convolution stages; pass WithInputShape(c, h, w) so position replicas can be sized at compile time")
+			}
+			oh := tensor.ConvOutSize(h, s.kh, s.stride, s.pad)
+			ow := tensor.ConvOutSize(w, s.kw, s.stride, s.pad)
+			if err := s.kmProgram(oh * ow * s.groups); err != nil {
+				return err
+			}
+			if err := ch.prepare(s.snnCore.ST); err != nil {
+				return err
+			}
+			h, w = oh, ow
+		case "pool":
+			if haveShape {
+				h = tensor.ConvOutSize(h, s.pool.K, s.pool.Stride, 0)
+				w = tensor.ConvOutSize(w, s.pool.K, s.pool.Stride, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// hybridCut locates the stage index of the first ANN-domain weighted
+// stage and the activation scale λ of the last spiking stage before it.
+func hybridCut(model *convert.Converted, nonSpiking int) (splitStage int, lambda float64, err error) {
+	var weighted []int
+	for i, st := range model.Stages {
+		if st.Weighted {
+			weighted = append(weighted, i)
+		}
+	}
+	if nonSpiking < 1 || nonSpiking >= len(weighted) {
+		return 0, 0, fmt.Errorf("hybrid split must be in [1, %d), got %d (set WithHybridSplit)", len(weighted), nonSpiking)
+	}
+	splitStage = weighted[len(weighted)-nonSpiking]
+	lambda = 1.0
+	for _, st := range model.Stages[:splitStage] {
+		if st.Kind != "flatten" {
+			lambda = st.Lambda
+		}
+	}
+	return splitStage, lambda, nil
+}

@@ -194,7 +194,30 @@ func (st *SuperTile) NULevel() mapping.NULevel {
 // Evaluate drives one input vector (length Rf, values in [0, 1]) through
 // the configured arrays and returns the K column dot products, aggregated
 // across the stack by Kirchhoff current summation — no digitization.
+//
+// Evaluate models wear on the constituent arrays (read disturb, shared
+// activity counters) and must not be called concurrently; the session
+// engine's frozen-conductance path uses EvaluateRead.
 func (st *SuperTile) Evaluate(input []float64) ([]float64, error) {
+	return st.evaluate(input, func(ac *crossbar.Crossbar, in []float64) ([]float64, error) {
+		return ac.MAC(in)
+	})
+}
+
+// EvaluateRead is Evaluate through the wear-free crossbar read path:
+// noise draws come from the caller's stream and activity lands in the
+// caller's stats, so concurrent goroutines may evaluate one programmed
+// super-tile as long as nothing reprograms, retires, ticks or refreshes
+// it meanwhile.
+func (st *SuperTile) EvaluateRead(input []float64, noise *rng.Rand, stats *crossbar.Stats) ([]float64, error) {
+	return st.evaluate(input, func(ac *crossbar.Crossbar, in []float64) ([]float64, error) {
+		return ac.MACRead(in, noise, stats)
+	})
+}
+
+// evaluate is the stack/set aggregation shared by Evaluate and
+// EvaluateRead; mac performs one atomic-crossbar dot product.
+func (st *SuperTile) evaluate(input []float64, mac func(*crossbar.Crossbar, []float64) ([]float64, error)) ([]float64, error) {
 	if st.stack == 0 {
 		return nil, fmt.Errorf("arch: super-tile not programmed")
 	}
@@ -213,7 +236,7 @@ func (st *SuperTile) Evaluate(input []float64) ([]float64, error) {
 				slice[i] = 0
 			}
 			copy(slice, input[rowLo:rowHi])
-			part, err := st.ac(s, h).MAC(slice)
+			part, err := mac(st.ac(s, h), slice)
 			if err != nil {
 				return nil, err
 			}

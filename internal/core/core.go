@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 	"repro/internal/train"
 )
 
@@ -142,13 +144,56 @@ func (s *Simulator) NewChip(noise *rng.Rand) *arch.Chip {
 	return arch.NewChip(s.Device, s.Crossbar, noise)
 }
 
-// RunOnChip executes one test image on simulated hardware in SNN mode.
+// RunOnChip executes one test image on simulated hardware in SNN mode,
+// compiling a single-use session. For more than a handful of images use
+// CompileChip once and stream the batch through the returned session.
 func (p *Pipeline) RunOnChip(imageIdx, T int) (*arch.RunResult, int, error) {
 	img, label := p.Test.Sample(imageIdx)
 	chip := p.Sim.NewChip(nil)
 	enc := snn.NewPoissonEncoder(p.Cfg.Convert.Gain, rng.New(p.Sim.Seed+uint64(imageIdx)))
-	res, err := chip.RunSNN(p.Converted, img, T, enc)
+	sess, err := chip.Compile(p.Converted,
+		arch.WithMode(arch.ModeSNN),
+		arch.WithTimesteps(T),
+		arch.WithSharedEncoder(enc),
+		arch.WithInputShape(img.Shape()...))
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := sess.Run(context.Background(), img)
 	return res, label, err
+}
+
+// CompileChip programs the converted network onto a fresh chip once and
+// returns a session for SNN-mode inference over test-set-shaped images:
+// the program-once / run-many path. Parallelism ≤ 0 uses all cores.
+func (p *Pipeline) CompileChip(T, parallelism int) (*arch.Session, error) {
+	img, _ := p.Test.Sample(0)
+	return p.Sim.NewChip(nil).Compile(p.Converted,
+		arch.WithMode(arch.ModeSNN),
+		arch.WithTimesteps(T),
+		arch.WithSeed(p.Sim.Seed),
+		arch.WithParallelism(parallelism),
+		arch.WithInputShape(img.Shape()...))
+}
+
+// RunBatchOnChip compiles once and streams n consecutive test images
+// (starting at first) through the session engine concurrently. It returns
+// the per-image results and labels in input order.
+func (p *Pipeline) RunBatchOnChip(ctx context.Context, first, n, T, parallelism int) ([]*arch.RunResult, []int, error) {
+	sess, err := p.CompileChip(T, parallelism)
+	if err != nil {
+		return nil, nil, err
+	}
+	imgs := make([]*tensor.Tensor, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		imgs[i], labels[i] = p.Test.Sample(first + i)
+	}
+	res, err := sess.RunBatch(ctx, imgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, labels, nil
 }
 
 // EstimateANN returns the energy/power report of a full-size workload in

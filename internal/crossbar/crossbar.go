@@ -201,11 +201,49 @@ func (c *Crossbar) EffectiveWeight(row, col int) float64 {
 // derived from the device conductances, so quantization, IR drop, read
 // noise, dead lines, retention drift and read disturb all act on the
 // result.
+//
+// MAC models wear: every call may disturb stored walls and mutates the
+// array's shared activity counters, so it must not be called concurrently.
+// Sessions that freeze the programmed conductances use MACRead instead.
 func (c *Crossbar) MAC(input []float64) ([]float64, error) {
-	if len(input) != c.Rows {
-		return nil, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
+	out, active, currentSum, err := c.macCompute(input, c.noise)
+	if err != nil {
+		return nil, err
 	}
-	active := 0
+	c.applyReadDisturb(active)
+	c.stats.MACs++
+	c.stats.ActiveRowSum += int64(active)
+	c.stats.OutputCurrentUA += currentSum
+	return out, nil
+}
+
+// MACRead evaluates the same analog dot product as MAC without the wear
+// side effects: no read disturb, no retention-clock interaction, and no
+// mutation of the array's shared counters. Read-noise draws come from the
+// caller's stream (nil disables noise) and activity is accumulated into
+// the caller's stats (nil discards it), so any number of goroutines may
+// call MACRead against the same programmed array concurrently, as long as
+// nothing reprograms, ticks or injects faults into it meanwhile.
+func (c *Crossbar) MACRead(input []float64, noise *rng.Rand, stats *Stats) ([]float64, error) {
+	out, active, currentSum, err := c.macCompute(input, noise)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.MACs++
+		stats.ActiveRowSum += int64(active)
+		stats.OutputCurrentUA += currentSum
+	}
+	return out, nil
+}
+
+// macCompute is the analog evaluation shared by MAC and MACRead. It reads
+// only programmed state (levels, line maps, age) and the supplied noise
+// stream, never the receiver's mutable wear state.
+func (c *Crossbar) macCompute(input []float64, noise *rng.Rand) (out []float64, active int, currentSum float64, err error) {
+	if len(input) != c.Rows {
+		return nil, 0, 0, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
+	}
 	for _, v := range input {
 		if v != 0 {
 			active++
@@ -221,8 +259,7 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 	}
 	states := c.P.States()
 	deltaG := (c.P.GParallelUS - c.P.GAntiParallelUS) / float64(states-1) // µS per level
-	out := make([]float64, c.Cols)
-	var currentSum float64
+	out = make([]float64, c.Cols)
 	for col := 0; col < c.Cols; col++ {
 		pc := c.colMap[col]
 		if c.deadCol != nil && c.deadCol[pc] {
@@ -247,8 +284,8 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 		// Scale: (V in volts)·(G in µS) = µA. Drift scales the stored
 		// polarization uniformly before the read noise is applied.
 		iDiff *= drift
-		if c.Cfg.ReadNoiseSigma > 0 && c.noise != nil {
-			iDiff *= 1 + c.Cfg.ReadNoiseSigma*c.noise.NormFloat64()
+		if c.Cfg.ReadNoiseSigma > 0 && noise != nil {
+			iDiff *= 1 + c.Cfg.ReadNoiseSigma*noise.NormFloat64()
 		}
 		currentSum += math.Abs(iDiff)
 		// Convert current back to weight units: a full-scale weight wmax
@@ -256,11 +293,7 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 		fullScale := c.P.VReadMV * 1e-3 * float64(states-1) * deltaG
 		out[col] = iDiff / fullScale * c.wmax
 	}
-	c.applyReadDisturb(active)
-	c.stats.MACs++
-	c.stats.ActiveRowSum += int64(active)
-	c.stats.OutputCurrentUA += currentSum
-	return out, nil
+	return out, active, currentSum, nil
 }
 
 // Stats returns a copy of the accumulated activity counters.

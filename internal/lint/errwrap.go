@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrwrapAnalyzer flags fmt.Errorf calls that format an error-typed
+// argument with a value verb (%v, %s, %q) instead of %w. A value verb
+// flattens the cause into text, so errors.Is / errors.As can no longer
+// reach it — exactly the typed chains the session API promises
+// (*arch.CompileError wrapping *reliability.DegradedError) would be
+// silently severed. Re-phrasing without wrapping is still possible by
+// formatting err.Error() explicitly, which documents the intent.
+func ErrwrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "errwrap",
+		Doc:      "flag fmt.Errorf formatting an error with %v/%s/%q instead of %w",
+		Severity: SeverityError,
+		Run:      runErrwrap,
+	}
+}
+
+func runErrwrap(p *Package) []Finding {
+	if !pathIsInternal(p.Path) && !pathIsCmd(p.Path) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(p, call) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringLiteral(p, call.Args[0])
+			if !ok {
+				return true // dynamic format string: nothing to check
+			}
+			args := call.Args[1:]
+			for _, v := range formatVerbs(format) {
+				if v.verb == 'w' || v.arg >= len(args) {
+					continue
+				}
+				if v.verb != 'v' && v.verb != 's' && v.verb != 'q' {
+					continue
+				}
+				if !argIsError(p, args[v.arg]) {
+					continue
+				}
+				out = append(out, findingAt(p.Fset, args[v.arg].Pos(), fmt.Sprintf(
+					"error-typed argument formatted with %%%c; use %%w so errors.Is/errors.As reach the cause (or format err.Error() to flatten deliberately)",
+					v.verb)))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFmtErrorf reports whether the call is fmt.Errorf, confirmed through
+// the type info so a local package named fmt cannot spoof it.
+func isFmtErrorf(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "fmt"
+}
+
+// stringLiteral unquotes expr when it is a constant string (a literal or
+// a named constant the type checker folded).
+func stringLiteral(p *Package, expr ast.Expr) (string, bool) {
+	if lit, ok := expr.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		s, err := strconv.Unquote(lit.Value)
+		return s, err == nil
+	}
+	if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil {
+		if s := tv.Value.ExactString(); len(s) >= 2 && s[0] == '"' {
+			unq, err := strconv.Unquote(s)
+			return unq, err == nil
+		}
+	}
+	return "", false
+}
+
+// argIsError reports whether the expression's static type satisfies the
+// error interface — the condition under which %w would wrap it.
+func argIsError(p *Package, expr ast.Expr) bool {
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errIface)
+}
+
+// fmtVerb is one formatting directive: its verb rune and the index of the
+// variadic argument it consumes.
+type fmtVerb struct {
+	verb rune
+	arg  int
+}
+
+// formatVerbs parses a Printf-style format string and maps each verb to
+// the variadic argument it consumes, accounting for %%, flags, *
+// width/precision (which consume an argument themselves) and explicit
+// argument indexes like %[1]s.
+func formatVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' ||
+			runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// Width (a * consumes an argument).
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+					i++
+				}
+			}
+		}
+		// Explicit argument index %[n]v.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, fmtVerb{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package lint
+
+import "testing"
+
+func TestErrwrapFlagsValueVerbs(t *testing.T) {
+	src := `package sessions
+
+import "fmt"
+
+func compile(name string, cause error) error {
+	return fmt.Errorf("compile %s: %v", name, cause)
+}
+
+func load(path string, err error) error {
+	return fmt.Errorf("load %q: %s", path, err)
+}
+
+func quote(err error) error {
+	return fmt.Errorf("cause was %q", err)
+}
+`
+	active, _ := partition(runFixture(t, ErrwrapAnalyzer(), "repro/internal/sessions", src))
+	if len(active) != 3 {
+		t.Fatalf("findings %d, want 3: %+v", len(active), active)
+	}
+	for _, f := range active {
+		if f.Severity != SeverityError {
+			t.Fatalf("errwrap finding not error severity: %+v", f)
+		}
+	}
+}
+
+func TestErrwrapAllowedForms(t *testing.T) {
+	// The typed-chain contract of the session API: %w keeps errors.As
+	// working; flattening via err.Error() is visible and deliberate; and
+	// non-error arguments under %v are fine.
+	src := `package sessions
+
+import "fmt"
+
+func wrap(mode string, cause error) error {
+	return fmt.Errorf("compile %s session: %w", mode, cause)
+}
+
+func flatten(cause error) error {
+	return fmt.Errorf("summary only: %s", cause.Error())
+}
+
+func values(n int, name string) error {
+	return fmt.Errorf("stage %d (%v) does not fit", n, name)
+}
+
+func dynamic(format string, cause error) error {
+	return fmt.Errorf(format, cause) // dynamic format: not analyzable
+}
+`
+	active, _ := partition(runFixture(t, ErrwrapAnalyzer(), "repro/internal/sessions", src))
+	if len(active) != 0 {
+		t.Fatalf("false positives: %+v", active)
+	}
+}
+
+func TestErrwrapStarAndIndexedVerbs(t *testing.T) {
+	// Width * consumes an argument; explicit %[n]v indexes must map to
+	// the right operand.
+	src := `package sessions
+
+import "fmt"
+
+func widths(pad int, err error) error {
+	return fmt.Errorf("%*d oops %v", pad, 7, err)
+}
+
+func indexed(err error, name string) error {
+	return fmt.Errorf("%[2]s failed: %[1]v", err, name)
+}
+`
+	active, _ := partition(runFixture(t, ErrwrapAnalyzer(), "repro/internal/sessions", src))
+	if len(active) != 2 {
+		t.Fatalf("findings %d, want 2 (the %%v in widths, the %%[1]v in indexed): %+v", len(active), active)
+	}
+}
+
+func TestErrwrapSuppression(t *testing.T) {
+	src := `package sessions
+
+import "fmt"
+
+func report(err error) error {
+	//nebula:lint-ignore errwrap user-facing summary must not expose the chain
+	return fmt.Errorf("run failed: %v", err)
+}
+`
+	active, suppressed := partition(runFixture(t, ErrwrapAnalyzer(), "repro/internal/sessions", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1", len(active), len(suppressed))
+	}
+}

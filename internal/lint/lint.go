@@ -3,7 +3,7 @@
 // invariants. It is built only on the standard library (go/parser, go/ast,
 // go/types) so the module stays dependency-free.
 //
-// The suite currently enforces five rules:
+// The suite currently enforces six rules:
 //
 //   - determinism: internal packages other than internal/rng must not
 //     import math/rand (or math/rand/v2) or read the wall clock via
@@ -21,6 +21,10 @@
 //   - errcheck: call statements in cmd/ and internal/ that discard a
 //     returned error are flagged, with a small whitelist for fmt printing
 //     and in-memory writers that cannot fail.
+//   - errwrap: fmt.Errorf calls that format an error-typed argument with
+//     %v, %s or %q instead of %w are flagged — a value verb flattens the
+//     cause and severs the errors.Is/errors.As chain the typed session
+//     errors (CompileError → DegradedError) rely on.
 //   - sync: sync.Mutex/RWMutex/WaitGroup/Once/Cond values that are copied
 //     (bare parameters, results, assignments) and wg.Add calls issued
 //     inside the spawned goroutine instead of before the go statement.
@@ -134,6 +138,7 @@ func Analyzers() []*Analyzer {
 		FloatEqAnalyzer(),
 		PanicAuditAnalyzer(),
 		ErrcheckAnalyzer(),
+		ErrwrapAnalyzer(),
 		SyncAnalyzer(),
 	}
 }

@@ -75,6 +75,20 @@ func newIFState(vth float64, mode ResetMode) *IFState {
 	return &IFState{VTh: vth, Mode: mode, Leak: 1}
 }
 
+// NewIFState allocates a free-standing IF membrane bank. Layer structs own
+// one implicitly; per-run execution state (the arch session engine) owns
+// its banks explicitly so concurrent inferences never share membranes.
+func NewIFState(vth float64, mode ResetMode) *IFState {
+	return newIFState(vth, mode)
+}
+
+// Fire integrates one timestep of input current and returns the binary
+// spike tensor — the exported form of the integrate-and-fire update for
+// callers that manage IF state per run instead of per layer.
+func (s *IFState) Fire(current *tensor.Tensor) *tensor.Tensor {
+	return s.fire(current)
+}
+
 // Reset clears membrane and counters.
 func (s *IFState) Reset() {
 	s.u = nil
@@ -248,11 +262,20 @@ func (p *AvgPoolIF) Spikes() (float64, int) { return p.IF.count, p.neurons }
 
 // Step implements Layer.
 func (p *AvgPoolIF) Step(in *tensor.Tensor) *tensor.Tensor {
+	pooled := AvgPool(in, p.K, p.Stride)
+	p.neurons = pooled.Size()
+	return p.IF.fire(pooled)
+}
+
+// AvgPool average-pools a (C, H, W) tensor with a k×k window — the pure
+// datapath half of AvgPoolIF, shared with the chip simulator's NU pooling
+// (spiking mode pairs it with a per-run IFState; ANN mode uses it alone).
+func AvgPool(in *tensor.Tensor, k, stride int) *tensor.Tensor {
 	c, h, w := in.Dim(0), in.Dim(1), in.Dim(2)
-	oh := tensor.ConvOutSize(h, p.K, p.Stride, 0)
-	ow := tensor.ConvOutSize(w, p.K, p.Stride, 0)
+	oh := tensor.ConvOutSize(h, k, stride, 0)
+	ow := tensor.ConvOutSize(w, k, stride, 0)
 	pooled := tensor.New(c, oh, ow)
-	inv := 1.0 / float64(p.K*p.K)
+	inv := 1.0 / float64(k*k)
 	id, pd := in.Data(), pooled.Data()
 	for ch := 0; ch < c; ch++ {
 		inBase := ch * h * w
@@ -260,9 +283,9 @@ func (p *AvgPoolIF) Step(in *tensor.Tensor) *tensor.Tensor {
 		for oi := 0; oi < oh; oi++ {
 			for oj := 0; oj < ow; oj++ {
 				s := 0.0
-				for ki := 0; ki < p.K; ki++ {
-					rb := inBase + (oi*p.Stride+ki)*w + oj*p.Stride
-					for kj := 0; kj < p.K; kj++ {
+				for ki := 0; ki < k; ki++ {
+					rb := inBase + (oi*stride+ki)*w + oj*stride
+					for kj := 0; kj < k; kj++ {
 						s += id[rb+kj]
 					}
 				}
@@ -270,8 +293,7 @@ func (p *AvgPoolIF) Step(in *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	p.neurons = pooled.Size()
-	return p.IF.fire(pooled)
+	return pooled
 }
 
 // Flatten reshapes spikes to a vector; it is stateless.
