@@ -10,11 +10,16 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, session, all.
+// sensitivity, profile, faults, session, obs, all.
 //
 // The session experiment times the program-once / run-many engine
 // (sequential vs batched at -parallel workers) and records the baseline
-// in a JSON file (-benchout, default BENCH_session.json).
+// in a JSON file (-benchout, default BENCH_session.json). The obs
+// experiment streams a batch through observed sessions in every mode
+// and records the counter snapshots plus their energy attribution
+// (-obsout, default BENCH_obs.json); the record carries no timings, so
+// it is bitwise identical at any -parallel — the CI determinism gate
+// diffs it across parallelism levels.
 // Analytic experiments (fig1, fig12-17, table3, ablations, sensitivity)
 // run in milliseconds; trained-model experiments (fig4, fig9, fig10,
 // table1, table2, noise, profile, faults) train the scaled benchmarks
@@ -40,6 +45,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
 	parallel := flag.Int("parallel", 0, "worker count for the session experiment (0 = NumCPU)")
 	benchOut := flag.String("benchout", "BENCH_session.json", "output path for the session throughput record")
+	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the observability counter record")
 	flag.Parse()
 
 	// writeCSV stores an experiment's data file when -csv is set.
@@ -190,6 +196,9 @@ func main() {
 		"session": func() error {
 			return runSessionBench(64, 40, *parallel, *benchOut)
 		},
+		"obs": func() error {
+			return runObsBench(16, 20, *parallel, *obsOut)
+		},
 		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
@@ -204,6 +213,7 @@ func main() {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
+		"obs",
 	}
 
 	names := strings.Split(*exp, ",")

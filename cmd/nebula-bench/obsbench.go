@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// obsModeRecord is one operating mode's counter snapshot plus its
+// counter-derived energy attribution.
+type obsModeRecord struct {
+	Snapshot obs.Snapshot    `json:"snapshot"`
+	Energy   obs.Attribution `json:"energy"`
+}
+
+// obsBench is the JSON record of the observability experiment. It
+// deliberately contains no timings and no parallelism: the record is a
+// pure function of the workload and the seed, so the CI determinism
+// gate can diff the file across -parallel levels byte for byte.
+type obsBench struct {
+	Workload  string                   `json:"workload"`
+	Images    int                      `json:"images"`
+	Timesteps int                      `json:"timesteps"`
+	Modes     map[string]obsModeRecord `json:"modes"`
+}
+
+// runObsBench streams the same batch through an observed session in
+// every operating mode and writes the snapshots and energy attributions
+// to outPath. The workload is the untrained MLP3 probe (counters measure
+// the simulator, not accuracy), chips are identically seeded per mode,
+// and shard merging is input-ordered — so the record is bitwise
+// identical at any -parallel, which the CI obs-determinism gate checks.
+func runObsBench(images, T, parallel int, outPath string) error {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if images < 8 {
+		images = 8
+	}
+	sim := core.New()
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 64, images, 7)
+	net := models.NewMLP3(1, 16, 10, rng.New(5))
+	conv, err := convert.Convert(net, tr, convert.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	imgs := make([]*tensor.Tensor, images)
+	for i := range imgs {
+		imgs[i], _ = te.Sample(i)
+	}
+	ctx := context.Background()
+
+	modeOpts := map[string][]arch.Option{
+		"ann":    {arch.WithMode(arch.ModeANN)},
+		"snn":    {arch.WithMode(arch.ModeSNN), arch.WithTimesteps(T)},
+		"hybrid": {arch.WithMode(arch.ModeHybrid), arch.WithHybridSplit(1), arch.WithTimesteps(T)},
+	}
+	rec := obsBench{
+		Workload:  "mlp3-mnistlike-untrained",
+		Images:    images,
+		Timesteps: T,
+		Modes:     make(map[string]obsModeRecord, len(modeOpts)),
+	}
+	for name, opts := range modeOpts {
+		r := obs.NewRecorder()
+		chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
+		sess, err := chip.Compile(conv, append(opts,
+			arch.WithSeed(sim.Seed),
+			arch.WithParallelism(parallel),
+			arch.WithInputShape(imgs[0].Shape()...),
+			arch.WithObserver(r))...)
+		if err != nil {
+			return fmt.Errorf("obs %s: %w", name, err)
+		}
+		if _, err := sess.RunBatch(ctx, imgs); err != nil {
+			return fmt.Errorf("obs %s: %w", name, err)
+		}
+		snap := r.Snapshot()
+		rec.Modes[name] = obsModeRecord{Snapshot: snap, Energy: obs.DefaultAttribution(snap)}
+	}
+
+	fmt.Printf("observability: %s, %d images, T=%d, parallelism %d\n",
+		rec.Workload, images, T, parallel)
+	for _, name := range []string{"ann", "snn", "hybrid"} {
+		m := rec.Modes[name]
+		fmt.Printf("  %-7s %4d runs  %9d spikes  %8d MAC reads  %8d ADC  %7d hops  %.3e J attributed\n",
+			name, m.Snapshot.Runs, m.Snapshot.Totals.SpikesEmitted, m.Snapshot.Totals.MACReads,
+			m.Snapshot.Totals.ADCConversions, m.Snapshot.Totals.NoCHops, m.Energy.TotalJ)
+	}
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s]\n", outPath)
+	return nil
+}

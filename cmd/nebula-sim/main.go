@@ -7,6 +7,7 @@
 //	nebula-sim -workload vgg13-cifar10
 //	nebula-sim -workload alexnet -timesteps 500 -hybrid 3
 //	nebula-sim -throughput -batch 32 -parallel 8   # session-engine probe
+//	nebula-sim -metrics -batch 16 -parallel 4      # counter snapshot as Prometheus text
 package main
 
 import (
@@ -45,8 +46,9 @@ func main() {
 	protection := flag.String("protection", "spare", "protection level for -health: none|verify|spare")
 	healthSeed := flag.Uint64("health-seed", 2020, "chip seed for -health (totals are deterministic per seed)")
 	throughput := flag.Bool("throughput", false, "run the session-engine throughput probe (batched vs sequential)")
-	batch := flag.Int("batch", 32, "images per batch for -throughput")
-	parallel := flag.Int("parallel", 0, "worker count for -throughput (0 = NumCPU)")
+	metrics := flag.Bool("metrics", false, "stream a batch through an observed session and print the counter snapshot as Prometheus text")
+	batch := flag.Int("batch", 32, "images per batch for -throughput / -metrics")
+	parallel := flag.Int("parallel", 0, "worker count for -throughput / -metrics (0 = NumCPU)")
 	flag.Parse()
 
 	ws := workloads()
@@ -72,6 +74,14 @@ func main() {
 	if *throughput {
 		if err := runThroughput(sim, *batch, *timesteps, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "nebula-sim: throughput: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *metrics {
+		if err := runMetrics(sim, *batch, *timesteps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-sim: metrics: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"os"
+	"runtime"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// runMetrics streams a batch through an observed session and emits the
+// recorder snapshot in Prometheus text exposition format on stdout —
+// nothing else is printed, so the output pipes straight into a scrape
+// file or a diff. The workload is the untrained MLP3 probe (the counters
+// measure the simulator, not accuracy), and because shard merging is
+// input-ordered the exposition is bitwise identical at any -parallel.
+func runMetrics(sim *core.Simulator, batch, T, parallel int) error {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if T <= 0 {
+		T = 40
+	}
+	if batch < 4 {
+		batch = 4
+	}
+	tr, te := dataset.TrainTest(dataset.MNISTLike, 64, batch, 7)
+	net := models.NewMLP3(1, 16, 10, rng.New(5))
+	conv, err := convert.Convert(net, tr, convert.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	imgs := make([]*tensor.Tensor, batch)
+	for i := range imgs {
+		imgs[i], _ = te.Sample(i)
+	}
+
+	rec := obs.NewRecorder()
+	chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
+	sess, err := chip.Compile(conv,
+		arch.WithMode(arch.ModeSNN),
+		arch.WithTimesteps(T),
+		arch.WithSeed(sim.Seed),
+		arch.WithParallelism(parallel),
+		arch.WithInputShape(imgs[0].Shape()...),
+		arch.WithObserver(rec))
+	if err != nil {
+		return err
+	}
+	if _, err := sess.RunBatch(context.Background(), imgs); err != nil {
+		return err
+	}
+	return rec.Snapshot().WritePrometheus(os.Stdout)
+}

@@ -56,6 +56,9 @@ func NewChip(p device.Params, cfg crossbar.Config, noise *rng.Rand) *Chip {
 // stageHW is the hardware realization of one converted stage.
 type stageHW struct {
 	kind string
+	// name is the converted layer's name, the key counter snapshots and
+	// trace events carry.
+	name string
 	// snnCore / annCore hold the crossbars for weighted stages (only one
 	// is populated depending on the run mode).
 	snnCore *SNNCore
@@ -91,6 +94,10 @@ type RunResult struct {
 	NoCPackets int64
 	// ADCConversions counts spill-path partial-sum digitizations.
 	ADCConversions int64
+	// NoCHops counts the mesh hops traversed by inter-stage packets.
+	NoCHops int64
+	// EDRAMAccesses counts eDRAM transactions (pipeline stages 1 and 3).
+	EDRAMAccesses int64
 	// Crossbar collects the run's crossbar activity on the session
 	// engine's frozen-conductance path (wear-mode runs accumulate into
 	// the arrays' own counters instead, as the deprecated entry points
@@ -121,7 +128,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 			km := v.W.Reshape(outC, rf).Transpose()
 			core := NewSNNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 			// Positions allocated lazily at run time (depends on input size).
-			s := &stageHW{kind: "conv", snnCore: core, kh: kh, kw: kw,
+			s := &stageHW{kind: "conv", name: v.Name(), snnCore: core, kh: kh, kw: kw,
 				stride: v.Stride, pad: v.Pad, inC: inC, outC: outC, groups: v.Groups}
 			s.kmProgram = func(positions int) error { return core.Program(km, ch.WMax, positions) }
 			s.bias = v.B
@@ -142,7 +149,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 						return nil, err
 					}
 				}
-				s := &stageHW{kind: "dense", spill: sp, outC: outC}
+				s := &stageHW{kind: "dense", name: v.Name(), spill: sp, outC: outC}
 				s.bias = v.B
 				stages = append(stages, s)
 				continue
@@ -154,16 +161,16 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 			if err := ch.prepare(core.ST); err != nil {
 				return nil, err
 			}
-			s := &stageHW{kind: "dense", snnCore: core, outC: outC}
+			s := &stageHW{kind: "dense", name: v.Name(), snnCore: core, outC: outC}
 			s.bias = v.B
 			stages = append(stages, s)
 		case *snn.AvgPoolIF:
-			stages = append(stages, &stageHW{kind: "pool",
+			stages = append(stages, &stageHW{kind: "pool", name: v.Name(),
 				pool: snn.NewAvgPoolIF(v.Name(), v.K, v.Stride, 1.0, snn.ResetToZero)})
 		case *snn.Flatten:
-			stages = append(stages, &stageHW{kind: "flatten"})
+			stages = append(stages, &stageHW{kind: "flatten", name: v.Name()})
 		case *snn.Output:
-			stages = append(stages, &stageHW{kind: "output", outW: v.W, outB: v.B})
+			stages = append(stages, &stageHW{kind: "output", name: v.Name(), outW: v.W, outB: v.B})
 		default:
 			return nil, fmt.Errorf("arch: unsupported stage type %T", layer)
 		}

@@ -16,6 +16,9 @@ import (
 // contents.
 type annStageHW struct {
 	kind string
+	// name is the converted layer's name, the key counter snapshots
+	// carry.
+	name string
 	// core holds the programmed crossbars of a weighted stage.
 	core *ANNCore
 	// conv geometry (kind == "conv")
@@ -53,7 +56,7 @@ func (ch *Chip) buildANNStages(c *convert.Converted, from int) ([]*annStageHW, e
 			if err := ch.prepare(core.ST); err != nil {
 				return nil, err
 			}
-			stages = append(stages, &annStageHW{kind: "conv", core: core,
+			stages = append(stages, &annStageHW{kind: "conv", name: v.Name(), core: core,
 				kh: kh, kw: kw, stride: v.Stride, pad: v.Pad,
 				groups: v.Groups, outC: outC, gcIn: gcIn, bias: v.B})
 		case *snn.Dense:
@@ -68,13 +71,13 @@ func (ch *Chip) buildANNStages(c *convert.Converted, from int) ([]*annStageHW, e
 			if err := ch.prepare(core.ST); err != nil {
 				return nil, err
 			}
-			stages = append(stages, &annStageHW{kind: "dense", core: core, bias: v.B})
+			stages = append(stages, &annStageHW{kind: "dense", name: v.Name(), core: core, bias: v.B})
 		case *snn.AvgPoolIF:
-			stages = append(stages, &annStageHW{kind: "pool", poolK: v.K, poolStride: v.Stride})
+			stages = append(stages, &annStageHW{kind: "pool", name: v.Name(), poolK: v.K, poolStride: v.Stride})
 		case *snn.Flatten:
-			stages = append(stages, &annStageHW{kind: "flatten"})
+			stages = append(stages, &annStageHW{kind: "flatten", name: v.Name()})
 		case *snn.Output:
-			stages = append(stages, &annStageHW{kind: "output", outW: v.W, outB: v.B})
+			stages = append(stages, &annStageHW{kind: "output", name: v.Name(), outW: v.W, outB: v.B})
 		default:
 			return nil, fmt.Errorf("arch: unsupported stage type %T", layer)
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/crossbar"
 	"repro/internal/device"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snn"
 	"repro/internal/tensor"
@@ -119,6 +120,50 @@ type execEnv struct {
 	// cross collects crossbar activity on the frozen-conductance path
 	// (nil in wear mode, where the arrays' shared counters accumulate).
 	cross *crossbar.Stats
+	// shard is the run's private counter shard (nil: observation
+	// disabled, the engine takes no accounting branches).
+	shard *obs.RunRecord
+	// hops is the mesh distance charged per inter-stage packet.
+	hops int64
+}
+
+// stageMark snapshots the run counters before one stage executes, so
+// the stage's contribution can be attributed as a delta afterwards.
+type stageMark struct {
+	cycles, spikes, packets, hops, adc, edram int64
+	cross                                     crossbar.Stats
+}
+
+// mark snapshots the current counters.
+func (env *execEnv) mark(res *RunResult) stageMark {
+	m := stageMark{cycles: res.Cycles, spikes: res.Spikes, packets: res.NoCPackets,
+		hops: res.NoCHops, adc: res.ADCConversions, edram: res.EDRAMAccesses}
+	if env.cross != nil {
+		m.cross = *env.cross
+	}
+	return m
+}
+
+// observe folds the delta since m into one shard bucket and returns the
+// stage's spike count for tracing. Crossbar-level counters (MAC reads,
+// driven rows, output current) are only attributable on the
+// frozen-conductance path; wear-mode runs accumulate them into the
+// arrays' own counters, as the deprecated entry points always did.
+func (env *execEnv) observe(m stageMark, res *RunResult, c *obs.Counters) int64 {
+	dSpikes := res.Spikes - m.spikes
+	c.SpikesEmitted += dSpikes
+	c.Cycles += res.Cycles - m.cycles
+	c.NoCPackets += res.NoCPackets - m.packets
+	c.NoCHops += res.NoCHops - m.hops
+	c.ADCConversions += res.ADCConversions - m.adc
+	c.EDRAMAccesses += res.EDRAMAccesses - m.edram
+	if env.cross != nil {
+		d := env.cross.Diff(m.cross)
+		c.MACReads += d.MACs
+		c.ActiveRowSum += d.ActiveRowSum
+		c.OutputCurrentUA += d.OutputCurrentUA
+	}
+	return dSpikes
 }
 
 // evaluate drives a super-tile through the regime's read path.
@@ -136,6 +181,7 @@ func (env *execEnv) coreStep(core *SNNCore, bank []*device.SpikingNeuron, pos in
 		return nil, fmt.Errorf("arch: position %d beyond allocated replicas", pos)
 	}
 	res.Cycles++ // cycle 1: eDRAM → IB
+	res.EDRAMAccesses++
 	sums, err := env.evaluate(core.ST, in)
 	if err != nil {
 		return nil, err
@@ -151,6 +197,7 @@ func (env *execEnv) coreStep(core *SNNCore, bank []*device.SpikingNeuron, pos in
 	out, spikes := integrateBank(core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
 	res.Spikes += spikes
 	res.Cycles++ // cycle 3: OB → eDRAM
+	res.EDRAMAccesses++
 	return out, nil
 }
 
@@ -164,6 +211,7 @@ func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in,
 		return nil, fmt.Errorf("arch: input length %d, want %d", len(in), sp.rowBounds[len(sp.rowBounds)-1])
 	}
 	res.Cycles++ // fetch
+	res.EDRAMAccesses++
 	total := make([]float64, sp.kernels)
 	for b, st := range sp.blocks {
 		part, err := env.evaluate(st, in[sp.rowBounds[b]:sp.rowBounds[b+1]])
@@ -193,6 +241,7 @@ func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in,
 		}
 	}
 	res.Cycles++ // write back
+	res.EDRAMAccesses++
 	return out, nil
 }
 
@@ -245,6 +294,7 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 		// Spikes travel to the consumer stage over the mesh; the shared
 		// mesh simulator is only driven on the sequential wear path.
 		res.NoCPackets++
+		res.NoCHops += env.hops
 		if env.wear {
 			env.ch.Mesh.Send(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}, maxInt(1, int(out.Sum())), 0)
 		}
@@ -262,6 +312,7 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 			return nil, err
 		}
 		res.NoCPackets++
+		res.NoCHops += env.hops
 		return tensor.FromSlice(spikes, len(spikes)), nil
 	case "pool":
 		return sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride)), nil
@@ -291,6 +342,7 @@ func (env *execEnv) annExec(core *ANNCore, inputs [][]float64, bias *tensor.Tens
 	out := make([][]float64, len(inputs))
 	for i, in := range inputs {
 		res.Cycles++ // cycle 1: eDRAM → IB
+		res.EDRAMAccesses++
 		sums, err := env.evaluate(core.ST, in)
 		if err != nil {
 			return nil, err
@@ -320,6 +372,7 @@ func (env *execEnv) annExec(core *ANNCore, inputs [][]float64, bias *tensor.Tens
 		}
 		out[i] = row
 		res.Cycles++ // cycle 3: OB → eDRAM
+		res.EDRAMAccesses++
 	}
 	return out, nil
 }
@@ -382,16 +435,66 @@ func (env *execEnv) annStage(hw *annStageHW, x *tensor.Tensor, res *RunResult) (
 	return nil, fmt.Errorf("arch: unknown ANN stage kind %q", hw.kind)
 }
 
+// stepStageObs advances spiking stage i by one timestep, attributing
+// the counter delta (and a trace event) to its bucket when the run
+// carries a shard. The nil-shard path is a single branch on top of the
+// unobserved stepStage.
+func (s *Session) stepStageObs(env *execEnv, i, t int, hw *stageHW, sr *stageRun, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+	if env.shard == nil {
+		return env.stepStage(hw, sr, x, res)
+	}
+	m := env.mark(res)
+	out, err := env.stepStage(hw, sr, x, res)
+	if err != nil {
+		return nil, err
+	}
+	idx := s.snnBase + i
+	d := env.observe(m, res, env.shard.Stage(idx))
+	if env.shard.TraceEnabled() {
+		env.shard.AddTrace(obs.TraceEvent{Timestep: t, Stage: idx, Layer: hw.name, Spikes: d})
+	}
+	return out, nil
+}
+
+// annStageObs executes continuous stage j, attributing the counter
+// delta to its bucket when the run carries a shard.
+func (s *Session) annStageObs(env *execEnv, j int, hw *annStageHW, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+	if env.shard == nil {
+		return env.annStage(hw, x, res)
+	}
+	m := env.mark(res)
+	out, err := env.annStage(hw, x, res)
+	if err != nil {
+		return nil, err
+	}
+	env.observe(m, res, env.shard.Stage(s.annBase+j))
+	return out, nil
+}
+
+// encodeObs encodes one timestep, attributing the input spikes entering
+// the pipeline to the input bucket (stage 0 of spiking layouts).
+func (s *Session) encodeObs(env *execEnv, enc snn.Encoder, img *tensor.Tensor, t int) *tensor.Tensor {
+	x := enc.Encode(img)
+	if sh := env.shard; sh != nil {
+		n := snn.CountSpikes(x)
+		sh.Stage(0).SpikesEmitted += n
+		if sh.TraceEnabled() {
+			sh.AddTrace(obs.TraceEvent{Timestep: t, Stage: 0, Layer: "input", Spikes: n})
+		}
+	}
+	return x
+}
+
 // execANN runs one continuous-activation pass.
 func (s *Session) execANN(ctx context.Context, img *tensor.Tensor, env *execEnv) (*RunResult, error) {
 	res := &RunResult{}
 	x := img
-	for _, hw := range s.annStages {
+	for j, hw := range s.annStages {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var err error
-		x, err = env.annStage(hw, x, res)
+		x, err = s.annStageObs(env, j, hw, x, res)
 		if err != nil {
 			return nil, err
 		}
@@ -410,10 +513,10 @@ func (s *Session) execSNN(ctx context.Context, img *tensor.Tensor, env *execEnv,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		x := enc.Encode(img)
+		x := s.encodeObs(env, enc, img, t)
 		for i, hw := range s.snnStages {
 			var err error
-			x, err = env.stepStage(hw, st.stages[i], x, res)
+			x, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, res)
 			if err != nil {
 				return nil, err
 			}
@@ -438,10 +541,10 @@ func (s *Session) execHybrid(ctx context.Context, img *tensor.Tensor, env *execE
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		x := enc.Encode(img)
+		x := s.encodeObs(env, enc, img, t)
 		for i, hw := range s.snnStages {
 			var err error
-			x, err = env.stepStage(hw, st.stages[i], x, res)
+			x, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, res)
 			if err != nil {
 				return nil, err
 			}
@@ -456,12 +559,12 @@ func (s *Session) execHybrid(ctx context.Context, img *tensor.Tensor, env *execE
 	// of the remaining stages apply directly.
 	x := st.au.Read()
 	x.ScaleInPlace(1 / s.lambda)
-	for _, hw := range s.annStages {
+	for j, hw := range s.annStages {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		var err error
-		x, err = env.annStage(hw, x, res)
+		x, err = s.annStageObs(env, j, hw, x, res)
 		if err != nil {
 			return nil, err
 		}
@@ -483,11 +586,17 @@ func runOutput(st *runState, stages []*stageHW) *tensor.Tensor {
 }
 
 // runOne executes a single inference with the given reserved streams.
-func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStreams) (*RunResult, error) {
+// When the session carries a recorder, the run fills a private counter
+// shard and returns it alongside the result; the caller decides when
+// (and whether) to merge it. A failed run's shard is discarded.
+func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStreams) (*RunResult, *obs.RunRecord, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	env := &execEnv{ch: s.chip, wear: s.cfg.wear}
+	env := &execEnv{ch: s.chip, wear: s.cfg.wear, hops: s.engineHops}
+	if s.rec != nil {
+		env.shard = obs.NewRunRecord(s.obsLayout, s.traceOn)
+	}
 	if env.wear {
 		// Wear runs mutate the programmed arrays, the mesh and the chip
 		// health report; serialize them.
@@ -520,19 +629,47 @@ func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStream
 		res, err = s.execHybrid(ctx, input, env, enc, st)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if env.cross != nil {
 		res.Crossbar = *env.cross
 	}
-	return res, nil
+	return res, env.shard, nil
+}
+
+// mergeShards folds a batch's completed shards into the recorder in
+// input order. Input-order merging is what keeps counter totals (which
+// include float columns) bitwise identical between sequential and
+// parallel execution of the same batch.
+func (s *Session) mergeShards(shards []*obs.RunRecord) error {
+	if s.rec == nil {
+		return nil
+	}
+	for _, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		if err := s.rec.MergeRun(sh); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run executes one inference. Each call reserves the next pair of
 // per-run RNG streams, so a loop of Run calls is bitwise identical to
 // one RunBatch over the same inputs.
 func (s *Session) Run(ctx context.Context, input *tensor.Tensor) (*RunResult, error) {
-	return s.runOne(ctx, input, s.reserveStreams(1)[0])
+	res, shard, err := s.runOne(ctx, input, s.reserveStreams(1)[0])
+	if err != nil {
+		return nil, err
+	}
+	if shard != nil {
+		if err := s.mergeShards([]*obs.RunRecord{shard}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
 }
 
 // RunBatch executes a batch of inferences across the session's worker
@@ -542,23 +679,35 @@ func (s *Session) Run(ctx context.Context, input *tensor.Tensor) (*RunResult, er
 // sequentially, at any parallelism. Cancellation is honoured between
 // batch items and between the timesteps of each spiking run; on error
 // the first observed failure is returned and the batch is abandoned.
+//
+// When the session carries a recorder, each run fills a private counter
+// shard; the shards are merged into the recorder in input order only
+// after the whole batch succeeds, so recorded totals are bitwise
+// identical to sequential execution at any parallelism. A failed or
+// cancelled batch contributes nothing to the recorder — not even its
+// completed runs.
 func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*RunResult, error) {
 	if len(inputs) == 0 {
 		return nil, nil
 	}
 	streams := s.reserveStreams(len(inputs))
 	results := make([]*RunResult, len(inputs))
+	shards := make([]*obs.RunRecord, len(inputs))
 	par := s.Parallelism(len(inputs))
 	if par <= 1 {
 		for i, in := range inputs {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := s.runOne(ctx, in, streams[i])
+			res, shard, err := s.runOne(ctx, in, streams[i])
 			if err != nil {
 				return nil, fmt.Errorf("arch: batch input %d: %w", i, err)
 			}
 			results[i] = res
+			shards[i] = shard
+		}
+		if err := s.mergeShards(shards); err != nil {
+			return nil, err
 		}
 		return results, nil
 	}
@@ -576,13 +725,14 @@ func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*Run
 					errs[i] = err
 					continue
 				}
-				res, err := s.runOne(cctx, inputs[i], streams[i])
+				res, shard, err := s.runOne(cctx, inputs[i], streams[i])
 				if err != nil {
 					errs[i] = err
 					cancel()
 					continue
 				}
 				results[i] = res
+				shards[i] = shard
 			}
 		}()
 	}
@@ -612,6 +762,9 @@ func (s *Session) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*Run
 	}
 	if first != nil {
 		return nil, first
+	}
+	if err := s.mergeShards(shards); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

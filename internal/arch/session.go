@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"repro/internal/convert"
+	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snn"
 	"repro/internal/tensor"
@@ -88,6 +90,7 @@ type sessionConfig struct {
 	sharedEnc   snn.Encoder
 	inShape     []int
 	wear        bool
+	rec         *obs.Recorder
 }
 
 // Option configures Compile.
@@ -136,6 +139,16 @@ func WithSeed(seed uint64) Option {
 	return func(c *sessionConfig) { c.seed = seed; c.seedSet = true }
 }
 
+// WithObserver attaches a metrics recorder: each run's activity is
+// tallied per stage into a private shard and merged into rec when the
+// run (or its whole batch) succeeds. A nil recorder — the default —
+// disables observation entirely; the engine then takes no accounting
+// branches, touches no atomics and allocates no shards, so disabled
+// sessions run at the unobserved speed. One recorder may observe several
+// sessions compiled from the same model in the same mode (its Bind
+// rejects mismatched schemas).
+func WithObserver(rec *obs.Recorder) Option { return func(c *sessionConfig) { c.rec = rec } }
+
 // WithWear(true) makes every run model per-evaluation wear exactly like
 // the deprecated entry points: crossbar reads apply read disturb and
 // shared activity counters, the retention clock ticks (and the scrub
@@ -164,6 +177,18 @@ type Session struct {
 	annStages []*annStageHW
 	// lambda is the activation scale at the hybrid boundary.
 	lambda float64
+
+	// rec is the attached metrics recorder (nil: observation disabled).
+	// obsLayout is the counter schema built at compile time; snnBase /
+	// annBase are the bucket offsets of the spiking and continuous
+	// pipelines within it; traceOn caches rec.TraceEnabled(); engineHops
+	// is the mesh distance the engine charges per inter-stage packet.
+	rec        *obs.Recorder
+	obsLayout  *obs.Layout
+	snnBase    int
+	annBase    int
+	traceOn    bool
+	engineHops int64
 
 	// mu guards the stream reservation; streams is the session RNG parent
 	// from which each run draws its two private streams in input order.
@@ -206,6 +231,10 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		cfg.encFactory = func(r *rng.Rand) snn.Encoder { return snn.NewPoissonEncoder(gain, r) }
 	}
 
+	// Snapshot the cumulative health report so the observer can attribute
+	// exactly this compilation's BIST/repair work.
+	healthBefore := ch.health
+
 	s := &Session{chip: ch, cfg: cfg, model: model}
 	var err error
 	switch cfg.mode {
@@ -234,6 +263,13 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		}
 	}
 	if err != nil {
+		if cfg.rec != nil {
+			// A refused compile still did real BIST/repair work — and a
+			// degradation refusal is exactly the event an operator
+			// watches for — so the reliability delta is recorded even
+			// though no session exists to run.
+			cfg.rec.RecordProgram(failedCompileRecord(ch.health.Delta(healthBefore), err))
+		}
 		return fail(err)
 	}
 
@@ -243,6 +279,14 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 	}
 	s.streams = rng.New(seed)
 	s.arena.New = func() interface{} { return s.newRunState() }
+	// Every inter-stage packet crosses the fixed engine placement — the
+	// same adjacent pair the wear path drives through Mesh.Send.
+	s.engineHops = int64(ch.Mesh.Hops(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}))
+	if cfg.rec != nil {
+		if err := s.attachObserver(cfg.rec, healthBefore); err != nil {
+			return fail(err)
+		}
+	}
 	return s, nil
 }
 

@@ -71,7 +71,8 @@ func assertBatchMatchesSequential(t *testing.T, c *convert.Converted, imgs []*te
 				}
 			}
 			if got[i].Prediction != want[i].Prediction || got[i].Spikes != want[i].Spikes ||
-				got[i].Cycles != want[i].Cycles || got[i].NoCPackets != want[i].NoCPackets {
+				got[i].Cycles != want[i].Cycles || got[i].NoCPackets != want[i].NoCPackets ||
+				got[i].NoCHops != want[i].NoCHops || got[i].EDRAMAccesses != want[i].EDRAMAccesses {
 				t.Fatalf("parallelism %d input %d: stats diverged: %+v vs %+v", par, i, got[i], want[i])
 			}
 		}

@@ -166,14 +166,18 @@ func (p *Pipeline) RunOnChip(imageIdx, T int) (*arch.RunResult, int, error) {
 // CompileChip programs the converted network onto a fresh chip once and
 // returns a session for SNN-mode inference over test-set-shaped images:
 // the program-once / run-many path. Parallelism ≤ 0 uses all cores.
-func (p *Pipeline) CompileChip(T, parallelism int) (*arch.Session, error) {
+// Extra options (e.g. arch.WithObserver) are appended after the
+// pipeline's defaults.
+func (p *Pipeline) CompileChip(T, parallelism int, opts ...arch.Option) (*arch.Session, error) {
 	img, _ := p.Test.Sample(0)
 	return p.Sim.NewChip(nil).Compile(p.Converted,
-		arch.WithMode(arch.ModeSNN),
-		arch.WithTimesteps(T),
-		arch.WithSeed(p.Sim.Seed),
-		arch.WithParallelism(parallelism),
-		arch.WithInputShape(img.Shape()...))
+		append([]arch.Option{
+			arch.WithMode(arch.ModeSNN),
+			arch.WithTimesteps(T),
+			arch.WithSeed(p.Sim.Seed),
+			arch.WithParallelism(parallelism),
+			arch.WithInputShape(img.Shape()...),
+		}, opts...)...)
 }
 
 // RunBatchOnChip compiles once and streams n consecutive test images

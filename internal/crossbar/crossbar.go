@@ -38,6 +38,18 @@ type Stats struct {
 	ProgramEnergyFJ float64
 }
 
+// Diff returns the activity accumulated since a prior snapshot of the
+// same Stats — the per-stage delta the observability layer attributes
+// while one run funnels every crossbar read into a single Stats.
+func (s Stats) Diff(prev Stats) Stats {
+	return Stats{
+		MACs:            s.MACs - prev.MACs,
+		ActiveRowSum:    s.ActiveRowSum - prev.ActiveRowSum,
+		OutputCurrentUA: s.OutputCurrentUA - prev.OutputCurrentUA,
+		ProgramEnergyFJ: s.ProgramEnergyFJ - prev.ProgramEnergyFJ,
+	}
+}
+
 // Config holds the crossbar's analog non-ideality knobs.
 type Config struct {
 	// IRDropAlpha scales the source-line voltage droop: each row's

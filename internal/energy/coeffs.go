@@ -1,0 +1,55 @@
+package energy
+
+import "repro/internal/mapping"
+
+// This file derives per-event energy coefficients from the Table III
+// power budget, so measured activity counters (package obs) can be
+// turned into an energy attribution without re-running the analytic
+// layer model: power × 110 ns cycle ÷ the events that cycle serves.
+
+// cycleS returns the pipeline cycle in seconds.
+func (m *Model) cycleS() float64 { return m.S.CycleNS * 1e-9 }
+
+// crossbarPowerW returns the per-super-tile crossbar power of a mode.
+func (m *Model) crossbarPowerW(mode Mode) float64 {
+	if mode == SNN {
+		return m.S.SNNCrossbarPowerW
+	}
+	return m.S.ANNCrossbarPowerW
+}
+
+// driverPowerW returns the per-super-tile driver power of a mode (DACs
+// in ANN mode, spike drivers in SNN mode).
+func (m *Model) driverPowerW(mode Mode) float64 {
+	if mode == SNN {
+		return m.S.SNNDriverPowerW
+	}
+	return m.S.ANNDACPowerW
+}
+
+// PerRowCrossbarJ returns the crossbar array energy attributable to one
+// driven row of one atomic-crossbar evaluation: the per-AC share of the
+// mode's crossbar power over one cycle, split across the M rows the AC
+// drives at full activity. Multiply by an ActiveRowSum counter.
+func (m *Model) PerRowCrossbarJ(mode Mode) float64 {
+	return m.perAC(m.crossbarPowerW(mode)) * m.cycleS() / float64(mapping.M)
+}
+
+// PerRowDriverJ is PerRowCrossbarJ for the input drivers.
+func (m *Model) PerRowDriverJ(mode Mode) float64 {
+	return m.perAC(m.driverPowerW(mode)) * m.cycleS() / float64(mapping.M)
+}
+
+// PerEvalNeuronJ returns the neuron-unit energy of one atomic-crossbar
+// evaluation: the per-AC share of the super-tile's NU power over one
+// cycle. Multiply by a MACReads counter.
+func (m *Model) PerEvalNeuronJ() float64 {
+	return m.S.NUPowerW / float64(m.S.ACsPerSuperTile) * m.cycleS()
+}
+
+// PerConversionJ returns the energy of digitizing and reducing one
+// spill-path partial sum (converter plus routing-unit add).
+func (m *Model) PerConversionJ() float64 { return m.ADCConversionJ + m.RUAddJ }
+
+// PerNoCHopBitJ returns the mesh transfer energy per bit per hop.
+func (m *Model) PerNoCHopBitJ() float64 { return m.Mesh.Cfg.EnergyPerBitPJ * 1e-12 }

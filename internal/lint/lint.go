@@ -3,7 +3,7 @@
 // invariants. It is built only on the standard library (go/parser, go/ast,
 // go/types) so the module stays dependency-free.
 //
-// The suite currently enforces six rules:
+// The suite currently enforces seven rules:
 //
 //   - determinism: internal packages other than internal/rng must not
 //     import math/rand (or math/rand/v2) or read the wall clock via
@@ -28,6 +28,11 @@
 //   - sync: sync.Mutex/RWMutex/WaitGroup/Once/Cond values that are copied
 //     (bare parameters, results, assignments) and wg.Add calls issued
 //     inside the spawned goroutine instead of before the go statement.
+//   - obsguard: fmt.Print* and log.Print*/Fatal*/Panic* calls inside
+//     internal/ packages (internal/lint excepted) are errors — library
+//     code reports through returned errors and internal/obs recorders,
+//     never by writing to the ambient console, so the machine-readable
+//     exports the CI gates diff stay byte-clean.
 //
 // Any finding can be suppressed with a justification comment on the same
 // line or the line directly above it:
@@ -140,6 +145,7 @@ func Analyzers() []*Analyzer {
 		ErrcheckAnalyzer(),
 		ErrwrapAnalyzer(),
 		SyncAnalyzer(),
+		ObsguardAnalyzer(),
 	}
 }
 

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsguardAnalyzer flags ambient console output in internal/ packages:
+// fmt.Print/Printf/Println and the log package's Print/Fatal/Panic
+// families. Library code must report through returned errors and the
+// internal/obs recorders; writing to the process's stdout or stderr from
+// inside the simulator corrupts the machine-readable exports (JSON
+// snapshots, Prometheus text, BENCH_*.json) the CI gates diff byte for
+// byte. Commands under cmd/ own the console and are exempt, as is
+// internal/lint itself, whose fixtures and reporters deal in diagnostics
+// by design.
+func ObsguardAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "obsguard",
+		Doc:      "flag fmt/log console printing inside internal/ packages",
+		Severity: SeverityError,
+		Run:      runObsguard,
+	}
+}
+
+func runObsguard(p *Package) []Finding {
+	if !pathIsInternal(p.Path) || strings.HasPrefix(p.Path, "repro/internal/lint") {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, bad := ambientPrint(p, call); bad {
+				out = append(out, findingAt(p.Fset, call.Pos(),
+					name+" writes to the ambient console from library code; return an error or record through internal/obs"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// ambientPrint reports whether the call is a package-level fmt print or
+// log call that targets the process console, plus its printable name.
+// fmt.Fprint* is allowed: it targets an explicit writer chosen by the
+// caller, which is how the exporters themselves are built.
+func ambientPrint(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch pkg.Imported().Path() {
+	case "fmt":
+		if strings.HasPrefix(name, "Print") {
+			return "fmt." + name, true
+		}
+	case "log":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fatal") ||
+			strings.HasPrefix(name, "Panic") {
+			return "log." + name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,91 @@
+package lint
+
+import "testing"
+
+func TestObsguardFlagsConsolePrinting(t *testing.T) {
+	src := `package engine
+
+import (
+	"fmt"
+	"log"
+)
+
+func debugDump(v int) {
+	fmt.Println("value:", v)
+	fmt.Printf("value: %d\n", v)
+	log.Printf("value: %d", v)
+	log.Fatal("boom")
+}
+`
+	active, _ := partition(runFixture(t, ObsguardAnalyzer(), "repro/internal/engine", src))
+	if len(active) != 4 {
+		t.Fatalf("findings %d, want 4 (Println, Printf, log.Printf, log.Fatal): %+v", len(active), active)
+	}
+	for _, f := range active {
+		if f.Severity != SeverityError {
+			t.Fatalf("obsguard finding not error severity: %+v", f)
+		}
+	}
+}
+
+func TestObsguardAllowedForms(t *testing.T) {
+	// Explicit writers are the sanctioned output path, and a shadowing
+	// local identifier named fmt must not be mistaken for the package.
+	src := `package engine
+
+import (
+	"bytes"
+	"fmt"
+)
+
+type printer struct{}
+
+func (printer) Println(args ...any) {}
+
+func render(b *bytes.Buffer, v int) string {
+	fmt.Fprintf(b, "value: %d\n", v)
+	var fmtLike printer
+	fmtLike.Println("not the fmt package")
+	return fmt.Sprintf("%d", v)
+}
+`
+	if fs := runFixture(t, ObsguardAnalyzer(), "repro/internal/engine", src); len(fs) != 0 {
+		t.Fatalf("allowed forms should pass, got %+v", fs)
+	}
+	// cmd/ owns the console.
+	cmdSrc := `package main
+
+import "fmt"
+
+func main() { fmt.Println("ok") }
+`
+	if fs := runFixture(t, ObsguardAnalyzer(), "repro/cmd/nebula-sim", cmdSrc); len(fs) != 0 {
+		t.Fatalf("cmd/ should be exempt, got %+v", fs)
+	}
+	// internal/lint deals in diagnostics by design.
+	lintSrc := `package lint
+
+import "fmt"
+
+func shout() { fmt.Println("finding") }
+`
+	if fs := runFixture(t, ObsguardAnalyzer(), "repro/internal/lint", lintSrc); len(fs) != 0 {
+		t.Fatalf("internal/lint should be exempt, got %+v", fs)
+	}
+}
+
+func TestObsguardSuppression(t *testing.T) {
+	src := `package engine
+
+import "fmt"
+
+func trace(v int) {
+	//nebula:lint-ignore obsguard temporary bring-up tracing
+	fmt.Println("v:", v)
+}
+`
+	active, suppressed := partition(runFixture(t, ObsguardAnalyzer(), "repro/internal/engine", src))
+	if len(active) != 0 || len(suppressed) != 1 {
+		t.Fatalf("active %d suppressed %d, want 0/1", len(active), len(suppressed))
+	}
+}

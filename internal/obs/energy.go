@@ -1,0 +1,95 @@
+package obs
+
+import "repro/internal/energy"
+
+// Coefficients are the per-event energies used to re-express the
+// Table III power model on top of measured activity counters, one set
+// per execution domain.
+type Coefficients struct {
+	// CrossbarRowJ / DriverRowJ are charged per driven row per
+	// evaluation (ActiveRowSum); NeuronJ per crossbar evaluation
+	// (MACReads).
+	CrossbarRowJ float64 `json:"crossbar_row_j"`
+	DriverRowJ   float64 `json:"driver_row_j"`
+	NeuronJ      float64 `json:"neuron_j"`
+	// ConversionJ is charged per ADC conversion (converter + RU add).
+	ConversionJ float64 `json:"conversion_j"`
+	// SRAMAccessJ / EDRAMAccessJ are charged per spike and per eDRAM
+	// transaction respectively.
+	SRAMAccessJ  float64 `json:"sram_access_j"`
+	EDRAMAccessJ float64 `json:"edram_access_j"`
+	// NoCHopBitJ is charged per bit per hop; AERBits sizes a spike
+	// packet.
+	NoCHopBitJ float64 `json:"noc_hop_bit_j"`
+	AERBits    int     `json:"aer_bits"`
+}
+
+// DomainCoefficients derives the per-event coefficients of one execution
+// domain from the analytic energy model.
+func DomainCoefficients(m *energy.Model, mode energy.Mode) Coefficients {
+	return Coefficients{
+		CrossbarRowJ: m.PerRowCrossbarJ(mode),
+		DriverRowJ:   m.PerRowDriverJ(mode),
+		NeuronJ:      m.PerEvalNeuronJ(),
+		ConversionJ:  m.PerConversionJ(),
+		SRAMAccessJ:  m.SRAMAccessJ,
+		EDRAMAccessJ: m.EDRAMAccessJ,
+		NoCHopBitJ:   m.PerNoCHopBitJ(),
+		AERBits:      m.AERBits,
+	}
+}
+
+// StageEnergy is the derived component-wise energy of one stage bucket.
+type StageEnergy struct {
+	Name      string  `json:"name"`
+	Domain    string  `json:"domain"`
+	CrossbarJ float64 `json:"crossbar_j"`
+	DriverJ   float64 `json:"driver_j"`
+	NeuronJ   float64 `json:"neuron_j"`
+	ADCJ      float64 `json:"adc_j"`
+	SRAMJ     float64 `json:"sram_j"`
+	EDRAMJ    float64 `json:"edram_j"`
+	NoCJ      float64 `json:"noc_j"`
+	TotalJ    float64 `json:"total_j"`
+}
+
+// Attribution is the counter-derived energy split of a snapshot.
+type Attribution struct {
+	Stages []StageEnergy `json:"stages"`
+	TotalJ float64       `json:"total_j"`
+}
+
+// Attribute derives a per-stage energy attribution from measured
+// counters: every joule is charged to a counted event, so the split
+// follows the actual activity of the runs rather than the parametric
+// profiles of the analytic model. ANN-domain stages use the ann
+// coefficients; spiking and input stages use snn.
+func Attribute(s Snapshot, ann, snn Coefficients) Attribution {
+	var a Attribution
+	a.Stages = make([]StageEnergy, len(s.Stages))
+	for i, st := range s.Stages {
+		co := snn
+		if st.Domain == "ann" {
+			co = ann
+		}
+		e := StageEnergy{Name: st.Name, Domain: st.Domain}
+		e.CrossbarJ = float64(st.ActiveRowSum) * co.CrossbarRowJ
+		e.DriverJ = float64(st.ActiveRowSum) * co.DriverRowJ
+		e.NeuronJ = float64(st.MACReads) * co.NeuronJ
+		e.ADCJ = float64(st.ADCConversions) * co.ConversionJ
+		e.SRAMJ = float64(st.SpikesEmitted) * co.SRAMAccessJ
+		e.EDRAMJ = float64(st.EDRAMAccesses) * co.EDRAMAccessJ
+		e.NoCJ = float64(st.NoCHops) * float64(co.AERBits) * co.NoCHopBitJ
+		e.TotalJ = e.CrossbarJ + e.DriverJ + e.NeuronJ + e.ADCJ + e.SRAMJ + e.EDRAMJ + e.NoCJ
+		a.Stages[i] = e
+		a.TotalJ += e.TotalJ
+	}
+	return a
+}
+
+// DefaultAttribution attributes a snapshot with the paper's operating
+// point (energy.NewModel()).
+func DefaultAttribution(s Snapshot) Attribution {
+	m := energy.NewModel()
+	return Attribute(s, DomainCoefficients(m, energy.ANN), DomainCoefficients(m, energy.SNN))
+}

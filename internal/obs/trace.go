@@ -1,0 +1,49 @@
+package obs
+
+// TraceEvent is one per-timestep observation of a spiking stage: how
+// many spikes stage `Stage` of run `Run` emitted at timestep `Timestep`.
+// The input bucket (stage 0 of spiking layouts) traces encoder spikes.
+type TraceEvent struct {
+	Run      int64  `json:"run"`
+	Timestep int    `json:"timestep"`
+	Stage    int    `json:"stage"`
+	Layer    string `json:"layer"`
+	Spikes   int64  `json:"spikes"`
+}
+
+// traceRing is a fixed-capacity ring of trace events: pushes overwrite
+// the oldest entry once full, bounding memory regardless of run count.
+type traceRing struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// newTraceRing allocates a ring holding up to capacity events.
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// push appends an event, overwriting the oldest when full.
+func (g *traceRing) push(ev TraceEvent) {
+	if len(g.buf) < cap(g.buf) {
+		g.buf = append(g.buf, ev)
+		return
+	}
+	g.buf[g.next] = ev
+	g.next = (g.next + 1) % cap(g.buf)
+	g.full = true
+}
+
+// events returns the retained events oldest-first.
+func (g *traceRing) events() []TraceEvent {
+	if !g.full {
+		out := make([]TraceEvent, len(g.buf))
+		copy(out, g.buf)
+		return out
+	}
+	out := make([]TraceEvent, 0, len(g.buf))
+	out = append(out, g.buf[g.next:]...)
+	out = append(out, g.buf[:g.next]...)
+	return out
+}

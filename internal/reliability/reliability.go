@@ -217,6 +217,33 @@ func (r *Report) Merge(o Report) {
 	r.Degraded = r.Degraded || o.Degraded
 }
 
+// Delta returns the counter-wise difference r − prev, attributing the
+// work of one window (e.g. a single session compilation) out of a
+// cumulative report. MaxDriftAge is copied from r (it is a level, not a
+// counter); Degraded reports whether the chip became degraded inside
+// the window.
+func (r Report) Delta(prev Report) Report {
+	return Report{
+		ArraysScanned:  r.ArraysScanned - prev.ArraysScanned,
+		PairsScanned:   r.PairsScanned - prev.PairsScanned,
+		DevicesFaulted: r.DevicesFaulted - prev.DevicesFaulted,
+		RowsDead:       r.RowsDead - prev.RowsDead,
+		ColsDead:       r.ColsDead - prev.ColsDead,
+		FaultsFound:    r.FaultsFound - prev.FaultsFound,
+		Repaired:       r.Repaired - prev.Repaired,
+		Compensated:    r.Compensated - prev.Compensated,
+		RowsRemapped:   r.RowsRemapped - prev.RowsRemapped,
+		ColsRemapped:   r.ColsRemapped - prev.ColsRemapped,
+		TilesRetired:   r.TilesRetired - prev.TilesRetired,
+		Unmitigated:    r.Unmitigated - prev.Unmitigated,
+		ScanReads:      r.ScanReads - prev.ScanReads,
+		RepairWrites:   r.RepairWrites - prev.RepairWrites,
+		Refreshes:      r.Refreshes - prev.Refreshes,
+		MaxDriftAge:    r.MaxDriftAge,
+		Degraded:       r.Degraded && !prev.Degraded,
+	}
+}
+
 // UnmitigatedFrac returns the fraction of scanned pairs left faulty.
 func (r Report) UnmitigatedFrac() float64 {
 	if r.PairsScanned == 0 {
