@@ -5,7 +5,7 @@ GO ?= go
 # never lower it to make a build pass.
 COVER_FLOOR ?= 74.0
 
-.PHONY: build test race lint fmt-check smoke bench-smoke cover obs-check verify
+.PHONY: build test race lint fmt-check smoke bench-smoke cover obs-check kernel-check verify
 
 build:
 	$(GO) build ./...
@@ -56,4 +56,13 @@ obs-check:
 	cmp BENCH_obs_seq.json BENCH_obs.json
 	@echo "obs snapshots bitwise identical across parallelism"
 
-verify: build fmt-check lint test race smoke bench-smoke cover obs-check
+# Frozen-kernel equivalence gate: the differential fuzz suite proving the
+# baked read kernels are bitwise identical to the dense reference, plus
+# the session-level kernel-on/kernel-off comparison, under the race
+# detector (DESIGN.md §10).
+kernel-check:
+	$(GO) test -race -count=1 ./internal/crossbar -run 'TestMACReadKernel|TestKernelInvalidation|TestKernelFresh'
+	$(GO) test -race -count=1 ./internal/arch -run 'TestSessionFrozenKernel|TestCompileBakesKernels|TestWearSessionSkipsBake'
+	@echo "frozen kernels bitwise identical to the dense reference"
+
+verify: build fmt-check lint test race smoke bench-smoke cover obs-check kernel-check

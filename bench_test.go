@@ -302,7 +302,7 @@ var (
 	sessImgs []*tensor.Tensor
 )
 
-func sessionFixture(b *testing.B) (*core.Pipeline, []*tensor.Tensor) {
+func sessionFixture(b testing.TB) (*core.Pipeline, []*tensor.Tensor) {
 	b.Helper()
 	sessOnce.Do(func() {
 		sim := core.New()
@@ -343,6 +343,35 @@ func benchmarkSession(b *testing.B, parallelism int) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(images)/b.Elapsed().Seconds(), "img/s")
+}
+
+// TestSessionSteadyStateAllocs pins the engine hot loop's allocation
+// budget. The seed engine allocated 52969 times per 32-image batch
+// (MAC outputs, spike vectors, im2col unfolds and read-out increments
+// were fresh slices every timestep); the frozen-kernel engine reuses
+// arena-held scratch and sits near 25k, dominated by the per-timestep
+// Poisson encoder. The ceiling is generous — sync.Pool may be drained
+// by a GC mid-measurement — but far below the seed count, so a
+// reintroduced per-timestep allocation in a step function fails here.
+func TestSessionSteadyStateAllocs(t *testing.T) {
+	pipe, imgs := sessionFixture(t)
+	sess, err := pipe.CompileChip(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func() {
+		if _, err := sess.RunBatch(ctx, imgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena so steady state is what gets measured
+	avg := testing.AllocsPerRun(3, run)
+	const ceiling = 40000
+	if avg > ceiling {
+		t.Fatalf("RunBatch allocated %.0f times per %d-image batch, ceiling %d (seed engine: 52969)",
+			avg, len(imgs), ceiling)
+	}
 }
 
 func BenchmarkSession_Sequential(b *testing.B) { benchmarkSession(b, 1) }

@@ -10,16 +10,23 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, session, obs, all.
+// sensitivity, profile, faults, session, kernel, obs, all.
 //
 // The session experiment times the program-once / run-many engine
 // (sequential vs batched at -parallel workers) and records the baseline
-// in a JSON file (-benchout, default BENCH_session.json). The obs
+// in a JSON file (-benchout, default BENCH_session.json). The kernel
+// experiment measures the frozen-conductance read kernels against the
+// dense reference walk — a MACRead sweep across activity levels plus
+// the trained SNN workload end to end — verifies bitwise identity, and
+// records the speedups (-kernelout, default BENCH_kernel.json). The obs
 // experiment streams a batch through observed sessions in every mode
 // and records the counter snapshots plus their energy attribution
 // (-obsout, default BENCH_obs.json); the record carries no timings, so
 // it is bitwise identical at any -parallel — the CI determinism gate
 // diffs it across parallelism levels.
+//
+// -cpuprofile / -memprofile write pprof profiles of whatever experiment
+// selection ran (see EXPERIMENTS.md for the analysis workflow).
 // Analytic experiments (fig1, fig12-17, table3, ablations, sensitivity)
 // run in milliseconds; trained-model experiments (fig4, fig9, fig10,
 // table1, table2, noise, profile, faults) train the scaled benchmarks
@@ -31,6 +38,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,7 +47,11 @@ import (
 	"repro/internal/figio"
 )
 
-func main() {
+// main delegates to run so profile flushing (and every other defer)
+// survives the non-zero exit paths.
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
 	samples := flag.Int("samples", 30, "test images per accuracy measurement")
 	trials := flag.Int("trials", 3, "Monte-Carlo trials for the noise study")
@@ -46,7 +59,43 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker count for the session experiment (0 = NumCPU)")
 	benchOut := flag.String("benchout", "BENCH_session.json", "output path for the session throughput record")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the observability counter record")
+	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output path for the frozen-kernel speedup record")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+			fmt.Printf("  [wrote %s]\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "nebula-bench: %v\n", err)
+				return
+			}
+			fmt.Printf("  [wrote %s]\n", *memProfile)
+		}()
+	}
 
 	// writeCSV stores an experiment's data file when -csv is set.
 	writeCSV := func(name string, emit func(f *os.File) error) {
@@ -196,6 +245,9 @@ func main() {
 		"session": func() error {
 			return runSessionBench(64, 40, *parallel, *benchOut)
 		},
+		"kernel": func() error {
+			return runKernelBench(64, 40, *kernelOut)
+		},
 		"obs": func() error {
 			return runObsBench(16, 20, *parallel, *obsOut)
 		},
@@ -213,7 +265,7 @@ func main() {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
-		"obs",
+		"kernel", "obs",
 	}
 
 	names := strings.Split(*exp, ",")
@@ -221,17 +273,18 @@ func main() {
 		names = order
 	}
 	for _, name := range names {
-		run, ok := runners[strings.TrimSpace(name)]
+		runner, ok := runners[strings.TrimSpace(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "nebula-bench: unknown experiment %q\navailable: %s\n",
 				name, strings.Join(order, ", "))
-			os.Exit(2)
+			return 2
 		}
 		start := time.Now()
-		if err := run(); err != nil {
+		if err := runner(); err != nil {
 			fmt.Fprintf(os.Stderr, "nebula-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -174,6 +174,16 @@ func (c *SNNCore) step(pos int, spikes, bias []float64) ([]float64, error) {
 // (per-run neuron banks).
 func integrateBank(p device.Params, vth float64, bank []*device.SpikingNeuron, sums []float64) ([]float64, int64) {
 	out := make([]float64, len(sums))
+	return out, integrateBankInto(out, p, vth, bank, sums)
+}
+
+// integrateBankInto is integrateBank writing the spike vector into a
+// caller-provided buffer of len(sums), so the session engine's hot loop
+// reuses one buffer per stage instead of allocating per timestep.
+func integrateBankInto(out []float64, p device.Params, vth float64, bank []*device.SpikingNeuron, sums []float64) int64 {
+	for i := range out {
+		out[i] = 0
+	}
 	span := p.LengthNM / (p.MobilityNMPerUAns * p.PulseNS)
 	var spikes int64
 	for i, inc := range sums {
@@ -193,7 +203,7 @@ func integrateBank(p device.Params, vth float64, bank []*device.SpikingNeuron, s
 			spikes++
 		}
 	}
-	return out, spikes
+	return spikes
 }
 
 // Membranes returns the normalized membrane potentials (wall positions)

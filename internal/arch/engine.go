@@ -53,8 +53,10 @@ type runState struct {
 	au     *AccumulatorUnit
 }
 
-// stageRun holds one stage's per-run state. Exactly one group of fields
-// is populated, matching the stage kind.
+// stageRun holds one stage's per-run state. Exactly one group of the
+// semantic fields is populated, matching the stage kind; the scratch
+// fields below them are reused across the stage's timesteps so the
+// steady-state hot loop allocates nothing per step.
 type stageRun struct {
 	// neurons is the position-replica MTJ bank of an in-core stage.
 	neurons []*device.SpikingNeuron
@@ -64,6 +66,29 @@ type stageRun struct {
 	poolIF *snn.IFState
 	// outAcc accumulates read-out increments across timesteps.
 	outAcc *tensor.Tensor
+
+	// sums receives the stage's crossbar column sums (frozen path only;
+	// the wear path keeps its allocating reads). fire receives the spike
+	// vector; its tensor wrapper is rebuilt per step (cheap header).
+	sums, fire []float64
+	// act gathers the indices of the non-zero input entries — the spike
+	// list handed down to the crossbar kernels.
+	act []int
+	// sc holds the super-tile evaluation scratch (window, partials,
+	// per-height active lists).
+	sc EvalScratch
+	// total accumulates a spill stage's digitized block partials.
+	total []float64
+	// colBuf / cols are a conv stage's receptive-field window and its
+	// reused im2col unfold; convOut is its reused output plane.
+	colBuf  []float64
+	cols    *tensor.Tensor
+	convOut *tensor.Tensor
+	// outInc is the read-out stage's per-step increment row; outIncFlat
+	// is the same buffer viewed as a vector.
+	outInc, outIncFlat *tensor.Tensor
+	// fireT is the cached tensor view over fire a dense stage emits.
+	fireT *tensor.Tensor
 }
 
 // newRunState allocates scratch state shaped for the compiled pipeline.
@@ -77,8 +102,13 @@ func (s *Session) newRunState() *runState {
 			for j := range sr.neurons {
 				sr.neurons[j] = device.NewSpikingNeuron(hw.snnCore.ST.P)
 			}
+			sr.sums = make([]float64, hw.snnCore.ST.cols)
+			sr.fire = make([]float64, hw.snnCore.ST.cols)
 		case hw.spill != nil:
 			sr.membranes = make([]float64, len(hw.spill.membranes))
+			sr.sums = make([]float64, hw.spill.kernels)
+			sr.total = make([]float64, hw.spill.kernels)
+			sr.fire = make([]float64, hw.spill.kernels)
 		case hw.kind == "pool":
 			sr.poolIF = snn.NewIFState(1.0, snn.ResetToZero)
 		}
@@ -125,6 +155,9 @@ type execEnv struct {
 	shard *obs.RunRecord
 	// hops is the mesh distance charged per inter-stage packet.
 	hops int64
+	// sc is the evaluation scratch of callers without a stage-owned one
+	// (the continuous ANN stages).
+	sc EvalScratch
 }
 
 // stageMark snapshots the run counters before one stage executes, so
@@ -166,23 +199,39 @@ func (env *execEnv) observe(m stageMark, res *RunResult, c *obs.Counters) int64 
 	return dSpikes
 }
 
-// evaluate drives a super-tile through the regime's read path.
-func (env *execEnv) evaluate(st *SuperTile, in []float64) ([]float64, error) {
+// evaluate drives a super-tile through the regime's read path. On the
+// frozen-conductance path the result lands in dst (allocated when nil)
+// through the baked kernels, skipping the rows outside act — the spike
+// list of the previous layer (nil: scan the input). The wear path keeps
+// its legacy allocating reads and ignores act/dst/sc.
+func (env *execEnv) evaluate(st *SuperTile, in []float64, act []int, dst []float64, sc *EvalScratch) ([]float64, error) {
 	if env.wear {
 		return st.Evaluate(in)
 	}
-	return st.EvaluateRead(in, env.noise, env.cross)
+	if dst == nil || len(dst) != st.cols {
+		dst = make([]float64, st.cols)
+	}
+	if sc == nil {
+		sc = &env.sc
+	}
+	if err := st.EvaluateReadInto(dst, in, act, env.noise, env.cross, sc); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // coreStep advances one in-core spiking position by one timestep against
 // the run's private neuron bank, mirroring SNNCore.step cycle for cycle.
-func (env *execEnv) coreStep(core *SNNCore, bank []*device.SpikingNeuron, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+// act is the input spike list (nil: scan); the spike vector returned
+// aliases sr.fire and is valid until the stage's next step.
+func (env *execEnv) coreStep(core *SNNCore, sr *stageRun, pos int, in []float64, act []int, bias []float64, res *RunResult) ([]float64, error) {
+	bank := sr.neurons
 	if (pos+1)*core.kernels > len(bank) {
 		return nil, fmt.Errorf("arch: position %d beyond allocated replicas", pos)
 	}
 	res.Cycles++ // cycle 1: eDRAM → IB
 	res.EDRAMAccesses++
-	sums, err := env.evaluate(core.ST, in)
+	sums, err := env.evaluate(core.ST, in, act, sr.sums, &sr.sc)
 	if err != nil {
 		return nil, err
 	}
@@ -194,16 +243,23 @@ func (env *execEnv) coreStep(core *SNNCore, bank []*device.SpikingNeuron, pos in
 			}
 		}
 	}
-	out, spikes := integrateBank(core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
+	if len(sr.fire) != len(sums) {
+		sr.fire = make([]float64, len(sums))
+	}
+	spikes := integrateBankInto(sr.fire, core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
 	res.Spikes += spikes
 	res.Cycles++ // cycle 3: OB → eDRAM
 	res.EDRAMAccesses++
-	return out, nil
+	return sr.fire, nil
 }
 
 // spillStep advances one spill-stage position against the run's private
-// RU membrane registers, mirroring RUSpillCore.StepAt.
-func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+// RU membrane registers, mirroring RUSpillCore.StepAt. The spike vector
+// returned aliases sr.fire. Spill blocks let the kernels rediscover
+// their slice's activity (the per-block row windows would need the
+// spike list re-based anyway).
+func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+	membranes := sr.membranes
 	if (pos+1)*sp.kernels > len(membranes) {
 		return nil, fmt.Errorf("arch: position %d beyond allocated registers", pos)
 	}
@@ -212,9 +268,15 @@ func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in,
 	}
 	res.Cycles++ // fetch
 	res.EDRAMAccesses++
-	total := make([]float64, sp.kernels)
+	if len(sr.total) != sp.kernels {
+		sr.total = make([]float64, sp.kernels)
+	}
+	total := sr.total
+	for i := range total {
+		total[i] = 0
+	}
 	for b, st := range sp.blocks {
-		part, err := env.evaluate(st, in[sp.rowBounds[b]:sp.rowBounds[b+1]])
+		part, err := env.evaluate(st, in[sp.rowBounds[b]:sp.rowBounds[b+1]], nil, sr.sums, &sr.sc)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +289,13 @@ func (env *execEnv) spillStep(sp *RUSpillCore, membranes []float64, pos int, in,
 	}
 	res.Cycles++ // reduce + activate at the RU
 	bank := membranes[pos*sp.kernels : (pos+1)*sp.kernels]
-	out := make([]float64, sp.kernels)
+	if len(sr.fire) != sp.kernels {
+		sr.fire = make([]float64, sp.kernels)
+	}
+	out := sr.fire
+	for i := range out {
+		out[i] = 0
+	}
 	for kIdx := range bank {
 		inc := total[kIdx]
 		if bias != nil && kIdx < len(bias) {
@@ -263,26 +331,45 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 		h, w := x.Dim(1), x.Dim(2)
 		oh := tensor.ConvOutSize(h, hw.kh, hw.stride, hw.pad)
 		ow := tensor.ConvOutSize(w, hw.kw, hw.stride, hw.pad)
-		out := tensor.New(hw.outC, oh, ow)
+		out := sr.convOut
+		if out == nil || out.Dim(0) != hw.outC || out.Dim(1) != oh || out.Dim(2) != ow {
+			out = tensor.New(hw.outC, oh, ow)
+			sr.convOut = out
+		}
 		gcIn := hw.inC / hw.groups
 		gcOut := hw.outC / hw.groups
 		rfg := gcIn * hw.kh * hw.kw
-		colBuf := make([]float64, rfg)
+		if len(sr.colBuf) != rfg {
+			sr.colBuf = make([]float64, rfg)
+		}
+		colBuf := sr.colBuf
 		area := h * w
 		for g := 0; g < hw.groups; g++ {
 			sub := tensor.FromSlice(x.Data()[g*gcIn*area:(g+1)*gcIn*area], gcIn, h, w)
-			cols := tensor.Im2Col(sub, hw.kh, hw.kw, hw.stride, hw.pad)
+			if sr.cols == nil || sr.cols.Dim(0) != rfg || sr.cols.Dim(1) != oh*ow {
+				sr.cols = tensor.New(rfg, oh*ow)
+			}
+			cols := sr.cols
+			tensor.Im2ColInto(cols, sub, hw.kh, hw.kw, hw.stride, hw.pad)
 			for pos := 0; pos < oh*ow; pos++ {
+				// Gather the receptive-field window and its spike list in
+				// one pass; the kernels skip the silent rows.
+				act := sr.act[:0]
 				for r := 0; r < rfg; r++ {
-					colBuf[r] = cols.At(r, pos)
+					v := cols.At(r, pos)
+					colBuf[r] = v
+					if v != 0 {
+						act = append(act, r)
+					}
 				}
+				sr.act = act
 				// Grouped case: per-group kernel matrices share the row
 				// space; each (position, group) pair owns a replica bank.
 				bankPos := pos
 				if hw.groups > 1 {
 					bankPos = pos*hw.groups + g
 				}
-				spikes, err := env.coreStep(hw.snnCore, sr.neurons, bankPos, colBuf, biasData(hw.bias), res)
+				spikes, err := env.coreStep(hw.snnCore, sr, bankPos, colBuf, act, biasData(hw.bias), res)
 				if err != nil {
 					return nil, err
 				}
@@ -304,16 +391,33 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 		var spikes []float64
 		var err error
 		if hw.spill != nil {
-			spikes, err = env.spillStep(hw.spill, sr.membranes, 0, flat.Data(), biasData(hw.bias), res)
+			spikes, err = env.spillStep(hw.spill, sr, 0, flat.Data(), biasData(hw.bias), res)
 		} else {
-			spikes, err = env.coreStep(hw.snnCore, sr.neurons, 0, flat.Data(), biasData(hw.bias), res)
+			// Gather the previous layer's spike list so the crossbar
+			// kernels touch only the active rows.
+			act := sr.act[:0]
+			for i, v := range flat.Data() {
+				if v != 0 {
+					act = append(act, i)
+				}
+			}
+			sr.act = act
+			spikes, err = env.coreStep(hw.snnCore, sr, 0, flat.Data(), act, biasData(hw.bias), res)
 		}
 		if err != nil {
 			return nil, err
 		}
 		res.NoCPackets++
 		res.NoCHops += env.hops
-		return tensor.FromSlice(spikes, len(spikes)), nil
+		if env.wear {
+			return tensor.FromSlice(spikes, len(spikes)), nil
+		}
+		// Frozen path: spikes aliases sr.fire, whose backing array only
+		// changes when its length does — the cached view stays valid.
+		if sr.fireT == nil || sr.fireT.Size() != len(spikes) {
+			sr.fireT = tensor.FromSlice(spikes, len(spikes))
+		}
+		return sr.fireT, nil
 	case "pool":
 		return sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride)), nil
 	case "flatten":
@@ -321,14 +425,19 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 	case "output":
 		// Digital accumulation at the routing units.
 		flat := x.Reshape(1, -1)
-		inc := tensor.MatMulTransB(flat, hw.outW)
+		n := hw.outW.Dim(0)
+		if sr.outInc == nil || sr.outInc.Dim(1) != n {
+			sr.outInc = tensor.New(1, n)
+			sr.outIncFlat = sr.outInc.Reshape(n)
+		}
+		tensor.MatMulTransBInto(sr.outInc, flat, hw.outW)
 		if hw.outB != nil {
-			inc.Row(0).AddInPlace(hw.outB)
+			sr.outInc.Row(0).AddInPlace(hw.outB)
 		}
 		if sr.outAcc == nil {
-			sr.outAcc = tensor.New(hw.outW.Dim(0))
+			sr.outAcc = tensor.New(n)
 		}
-		sr.outAcc.AddInPlace(inc.Reshape(hw.outW.Dim(0)))
+		sr.outAcc.AddInPlace(sr.outIncFlat)
 		return sr.outAcc.Clone(), nil
 	}
 	return nil, fmt.Errorf("arch: unknown stage kind %q", hw.kind)
@@ -343,7 +452,7 @@ func (env *execEnv) annExec(core *ANNCore, inputs [][]float64, bias *tensor.Tens
 	for i, in := range inputs {
 		res.Cycles++ // cycle 1: eDRAM → IB
 		res.EDRAMAccesses++
-		sums, err := env.evaluate(core.ST, in)
+		sums, err := env.evaluate(core.ST, in, nil, nil, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,133 @@
+package arch
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// assertKernelOffMatchesOn compiles the same model twice — frozen
+// kernels disabled and enabled (the default) — over identically seeded
+// chips and requires every output, prediction and counter to match bit
+// for bit. This is the end-to-end form of the crossbar-level
+// differential tests: the baked fast path must be invisible.
+func assertKernelOffMatchesOn(t *testing.T, c *convert.Converted, imgs []*tensor.Tensor, opts ...Option) {
+	t.Helper()
+	ctx := context.Background()
+	dense := compileSession(t, c, append(append([]Option(nil), opts...), WithFrozenKernel(false))...)
+	fast := compileSession(t, c, opts...)
+	want, err := dense.RunBatch(ctx, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.RunBatch(ctx, imgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		wd, gd := want[i].Output.Data(), got[i].Output.Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("input %d: output size %d, want %d", i, len(gd), len(wd))
+		}
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("input %d col %d: kernel %v != dense %v (frozen kernel not bitwise identical)",
+					i, j, gd[j], wd[j])
+			}
+		}
+		if got[i].Prediction != want[i].Prediction || got[i].Spikes != want[i].Spikes ||
+			got[i].Cycles != want[i].Cycles || got[i].EDRAMAccesses != want[i].EDRAMAccesses {
+			t.Fatalf("input %d: stats diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSessionFrozenKernelBitwiseANN(t *testing.T) {
+	c, te := chipFixture(t)
+	assertKernelOffMatchesOn(t, c, sessionImages(t, te, 8),
+		WithMode(ModeANN), WithSeed(42))
+}
+
+func TestSessionFrozenKernelBitwiseSNN(t *testing.T) {
+	c, te := chipFixture(t)
+	assertKernelOffMatchesOn(t, c, sessionImages(t, te, 8),
+		WithMode(ModeSNN), WithTimesteps(20), WithSeed(42))
+}
+
+func TestSessionFrozenKernelBitwiseHybrid(t *testing.T) {
+	c, te := chipFixture(t)
+	assertKernelOffMatchesOn(t, c, sessionImages(t, te, 8),
+		WithMode(ModeHybrid), WithHybridSplit(1), WithTimesteps(20), WithSeed(42))
+}
+
+func TestSessionFrozenKernelBitwiseConv(t *testing.T) {
+	// Grouped convolution exercises the spike-list plumbing through the
+	// im2col window gather.
+	r := rng.New(19)
+	net := nn.NewNetwork("dw",
+		nn.NewConv2D("dw", 4, 4, 3, 3, 1, 1, 4, r),
+		nn.NewReLU("relu"),
+		nn.NewFlatten("flat"),
+		nn.NewLinear("fc", 4*8*8, 4, r),
+	)
+	d := dataset.Generate(dataset.Spec{Name: "x", Classes: 4, Channels: 4, Size: 8, Noise: 0.1, Jitter: 1}, 16, 1)
+	c, err := convert.Convert(net, d, convert.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertKernelOffMatchesOn(t, c, sessionImages(t, d, 6),
+		WithMode(ModeSNN), WithTimesteps(10), WithSeed(42), WithInputShape(4, 8, 8))
+}
+
+// TestCompileBakesKernels asserts the compile-time bake actually leaves
+// every programmed array on the fast path, and that WithFrozenKernel
+// (false) leaves every array on the dense path.
+func TestCompileBakesKernels(t *testing.T) {
+	c, _ := chipFixture(t)
+	for _, on := range []bool{true, false} {
+		sess := compileSession(t, c, WithMode(ModeSNN), WithTimesteps(20), WithFrozenKernel(on))
+		fresh, stale := 0, 0
+		for _, hw := range sess.snnStages {
+			if hw.snnCore == nil {
+				continue
+			}
+			// Only slot-routed arrays carry programmed weights; the
+			// unconfigured spares of the super-tile never bake.
+			for _, slot := range hw.snnCore.ST.slotAC {
+				if hw.snnCore.ST.acs[slot].KernelFresh() {
+					fresh++
+				} else {
+					stale++
+				}
+			}
+		}
+		if on && (fresh == 0 || stale != 0) {
+			t.Fatalf("WithFrozenKernel(true): %d fresh, %d stale arrays", fresh, stale)
+		}
+		if !on && fresh != 0 {
+			t.Fatalf("WithFrozenKernel(false): %d arrays still on the fast path", fresh)
+		}
+	}
+}
+
+// TestWearSessionSkipsBake pins that wear sessions never compile onto
+// the fast path: their reads mutate the arrays per evaluation.
+func TestWearSessionSkipsBake(t *testing.T) {
+	c, _ := chipFixture(t)
+	sess := compileSession(t, c, WithMode(ModeSNN), WithTimesteps(20), WithWear(true))
+	for _, hw := range sess.snnStages {
+		if hw.snnCore == nil {
+			continue
+		}
+		for _, slot := range hw.snnCore.ST.slotAC {
+			if hw.snnCore.ST.acs[slot].KernelFresh() {
+				t.Fatal("wear session compiled with a baked kernel")
+			}
+		}
+	}
+}

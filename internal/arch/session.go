@@ -90,6 +90,7 @@ type sessionConfig struct {
 	sharedEnc   snn.Encoder
 	inShape     []int
 	wear        bool
+	noKernel    bool
 	rec         *obs.Recorder
 }
 
@@ -156,6 +157,13 @@ func WithObserver(rec *obs.Recorder) Option { return func(c *sessionConfig) { c.
 // mutates the programmed arrays, so wear sessions always execute
 // sequentially regardless of WithParallelism.
 func WithWear(on bool) Option { return func(c *sessionConfig) { c.wear = on } }
+
+// WithFrozenKernel(false) disables baking the frozen-conductance read
+// kernels at compile time, forcing every MACRead through the reference
+// dense path. The kernels are bitwise identical to the reference, so
+// this only trades speed for nothing — it exists for differential
+// testing and benchmarking of the fast path. Default: enabled.
+func WithFrozenKernel(on bool) Option { return func(c *sessionConfig) { c.noKernel = !on } }
 
 // defaultSessionSeed seeds sessions that set no WithSeed; a fixed
 // constant keeps the default fully reproducible run to run.
@@ -273,6 +281,13 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		return fail(err)
 	}
 
+	// Freeze the programmed conductance planes into read kernels. Wear
+	// sessions skip the bake: their reads mutate the arrays, so kernels
+	// would go stale after the first evaluation anyway.
+	if !cfg.noKernel && !cfg.wear {
+		s.bakeKernels()
+	}
+
 	seed := defaultSessionSeed
 	if cfg.seedSet {
 		seed = cfg.seed
@@ -288,6 +303,28 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		}
 	}
 	return s, nil
+}
+
+// bakeKernels freezes every programmed super-tile's conductance planes
+// into flat read kernels (see crossbar.BakeKernel). Compile is the one
+// point where the arrays are final — programmed, BIST-repaired and
+// protected — and no run is in flight, so baking here is race-free.
+func (s *Session) bakeKernels() {
+	for _, hw := range s.snnStages {
+		if hw.snnCore != nil {
+			hw.snnCore.ST.Bake()
+		}
+		if hw.spill != nil {
+			for _, st := range hw.spill.blocks {
+				st.Bake()
+			}
+		}
+	}
+	for _, hw := range s.annStages {
+		if hw.core != nil {
+			hw.core.ST.Bake()
+		}
+	}
 }
 
 // Mode returns the session's operating mode.

@@ -210,9 +210,115 @@ func (st *SuperTile) Evaluate(input []float64) ([]float64, error) {
 // super-tile as long as nothing reprograms, retires, ticks or refreshes
 // it meanwhile.
 func (st *SuperTile) EvaluateRead(input []float64, noise *rng.Rand, stats *crossbar.Stats) ([]float64, error) {
-	return st.evaluate(input, func(ac *crossbar.Crossbar, in []float64) ([]float64, error) {
-		return ac.MACRead(in, noise, stats)
-	})
+	if st.stack == 0 {
+		return nil, fmt.Errorf("arch: super-tile not programmed")
+	}
+	out := make([]float64, st.cols)
+	var sc EvalScratch
+	if err := st.EvaluateReadInto(out, input, nil, noise, stats, &sc); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Bake freezes the read kernel of every configured array (crossbar
+// BakeKernel), switching EvaluateRead/EvaluateReadInto onto the
+// event-driven fast path. Call it when the session's conductances
+// freeze; results are bitwise identical with or without the bake.
+func (st *SuperTile) Bake() {
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		st.acs[st.slotAC[slot]].BakeKernel()
+	}
+}
+
+// EvalScratch holds the buffers one reader goroutine reuses across
+// EvaluateReadInto calls: the M-padded per-AC input window, the per-AC
+// partial sums, and the active-row lists regrouped per stack height.
+// A zero EvalScratch is ready to use; buffers grow on first use and are
+// reused afterwards. Scratches must not be shared between concurrent
+// readers.
+type EvalScratch struct {
+	slice  []float64 // M-padded input window of one stack height
+	part   []float64 // per-AC partial dot products
+	actBuf []int     // window-local active rows, grouped by height
+	hOff   []int     // actBuf offsets: height h owns [hOff[h], hOff[h+1])
+}
+
+// EvaluateReadInto is EvaluateRead writing the K column sums into a
+// caller-provided buffer of length K, gathering the active-row list
+// once per call instead of once per atomic crossbar.
+//
+// active, when non-nil, must list exactly the indices of the non-zero
+// input entries in increasing order — the previous layer's spike list.
+// nil makes the scratch build the list by scanning the input once.
+func (st *SuperTile) EvaluateReadInto(dst, input []float64, active []int, noise *rng.Rand, stats *crossbar.Stats, sc *EvalScratch) error {
+	if st.stack == 0 {
+		return fmt.Errorf("arch: super-tile not programmed")
+	}
+	if len(input) != st.rows {
+		return fmt.Errorf("arch: input length %d, want Rf %d", len(input), st.rows)
+	}
+	if len(dst) != st.cols {
+		return fmt.Errorf("arch: destination length %d, want K %d", len(dst), st.cols)
+	}
+	if len(sc.slice) != mapping.M {
+		sc.slice = make([]float64, mapping.M)
+		sc.part = make([]float64, mapping.M)
+	}
+	// Regroup the active rows into window-local lists, one per stack
+	// height, so each AC of a set reuses its height's list.
+	sc.actBuf = sc.actBuf[:0]
+	sc.hOff = append(sc.hOff[:0], 0)
+	if active != nil {
+		i := 0
+		for h := 0; h < st.stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, st.rows)
+			for i < len(active) && active[i] < rowHi {
+				sc.actBuf = append(sc.actBuf, active[i]-rowLo)
+				i++
+			}
+			sc.hOff = append(sc.hOff, len(sc.actBuf))
+		}
+	} else {
+		for h := 0; h < st.stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, st.rows)
+			for r := rowLo; r < rowHi; r++ {
+				if input[r] != 0 {
+					sc.actBuf = append(sc.actBuf, r-rowLo)
+				}
+			}
+			sc.hOff = append(sc.hOff, len(sc.actBuf))
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	// Keep the set-outer / height-inner walk of the dense path: the
+	// per-AC read-noise draws must come off the stream in the same order.
+	for s := 0; s < st.sets; s++ {
+		colLo := s * mapping.M
+		colHi := min(colLo+mapping.M, st.cols)
+		for h := 0; h < st.stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, st.rows)
+			for i := range sc.slice {
+				sc.slice[i] = 0
+			}
+			copy(sc.slice, input[rowLo:rowHi])
+			act := sc.actBuf[sc.hOff[h]:sc.hOff[h+1]]
+			if err := st.ac(s, h).MACReadInto(sc.part, sc.slice, act, noise, stats); err != nil {
+				return err
+			}
+			// SL current summation: partial dot products add in the
+			// current domain across the vertical stack (§IV-B3).
+			for c := colLo; c < colHi; c++ {
+				dst[c] += sc.part[c-colLo]
+			}
+		}
+	}
+	return nil
 }
 
 // evaluate is the stack/set aggregation shared by Evaluate and

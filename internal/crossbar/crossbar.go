@@ -114,6 +114,13 @@ type Crossbar struct {
 	wmax  float64
 	stats Stats
 	noise *rng.Rand
+
+	// gen counts mutations of the read-visible state (levels, line maps,
+	// dead lines, retention clock); kern is the frozen read kernel baked
+	// against one generation. A kernel whose generation falls behind is
+	// stale and the read path falls back to the dense walk. See kernel.go.
+	gen  uint64
+	kern *readKernel
 }
 
 // New allocates an unprogrammed crossbar.
@@ -157,6 +164,7 @@ func (c *Crossbar) Program(w *tensor.Tensor, wmax float64) error {
 	if wmax <= 0 {
 		return fmt.Errorf("crossbar: wmax must be positive")
 	}
+	c.invalidate()
 	c.wmax = wmax
 	states := c.P.States()
 	stepEnergy := c.P.WriteEnergyFJ / float64(states-1)
@@ -236,25 +244,35 @@ func (c *Crossbar) MAC(input []float64) ([]float64, error) {
 // the caller's stats (nil discards it), so any number of goroutines may
 // call MACRead against the same programmed array concurrently, as long as
 // nothing reprograms, ticks or injects faults into it meanwhile.
+//
+// When a fresh kernel is baked (BakeKernel) the evaluation takes the
+// event-driven fast path; results are bitwise identical either way.
 func (c *Crossbar) MACRead(input []float64, noise *rng.Rand, stats *Stats) ([]float64, error) {
-	out, active, currentSum, err := c.macCompute(input, noise)
-	if err != nil {
+	out := make([]float64, c.Cols)
+	if err := c.MACReadInto(out, input, nil, noise, stats); err != nil {
 		return nil, err
-	}
-	if stats != nil {
-		stats.MACs++
-		stats.ActiveRowSum += int64(active)
-		stats.OutputCurrentUA += currentSum
 	}
 	return out, nil
 }
 
-// macCompute is the analog evaluation shared by MAC and MACRead. It reads
-// only programmed state (levels, line maps, age) and the supplied noise
-// stream, never the receiver's mutable wear state.
+// macCompute is the dense analog evaluation shared by MAC and the
+// kernel-free read path. It reads only programmed state (levels, line
+// maps, age) and the supplied noise stream, never the receiver's mutable
+// wear state.
 func (c *Crossbar) macCompute(input []float64, noise *rng.Rand) (out []float64, active int, currentSum float64, err error) {
+	out = make([]float64, c.Cols)
+	active, currentSum, err = c.macComputeInto(out, input, noise)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return out, active, currentSum, nil
+}
+
+// macComputeInto is macCompute writing into a caller-provided buffer of
+// length Cols. Every element of dst is assigned.
+func (c *Crossbar) macComputeInto(dst, input []float64, noise *rng.Rand) (active int, currentSum float64, err error) {
 	if len(input) != c.Rows {
-		return nil, 0, 0, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
+		return 0, 0, fmt.Errorf("crossbar: input length %d, want %d rows", len(input), c.Rows)
 	}
 	for _, v := range input {
 		if v != 0 {
@@ -271,11 +289,11 @@ func (c *Crossbar) macCompute(input []float64, noise *rng.Rand) (out []float64, 
 	}
 	states := c.P.States()
 	deltaG := (c.P.GParallelUS - c.P.GAntiParallelUS) / float64(states-1) // µS per level
-	out = make([]float64, c.Cols)
 	for col := 0; col < c.Cols; col++ {
 		pc := c.colMap[col]
 		if c.deadCol != nil && c.deadCol[pc] {
 			// A dead sense line contributes no current; the column reads 0.
+			dst[col] = 0
 			continue
 		}
 		// Differential column current: Σ V_i·ΔG·(level⁺−level⁻).
@@ -303,9 +321,9 @@ func (c *Crossbar) macCompute(input []float64, noise *rng.Rand) (out []float64, 
 		// Convert current back to weight units: a full-scale weight wmax
 		// at input 1.0 produces V·(States−1)·ΔG.
 		fullScale := c.P.VReadMV * 1e-3 * float64(states-1) * deltaG
-		out[col] = iDiff / fullScale * c.wmax
+		dst[col] = iDiff / fullScale * c.wmax
 	}
-	return out, active, currentSum, nil
+	return active, currentSum, nil
 }
 
 // Stats returns a copy of the accumulated activity counters.
@@ -351,6 +369,7 @@ func (c *Crossbar) InjectStuckFaults(r *rng.Rand, fraction float64, mode FaultMo
 	if r == nil || fraction <= 0 {
 		return 0
 	}
+	c.invalidate()
 	c.ensureFaults()
 	states := c.P.States()
 	stuck := 0

@@ -77,8 +77,13 @@ func (c *Crossbar) PhysCols() int { return c.physCols }
 func (c *Crossbar) Age() int64 { return c.age }
 
 // Tick advances the retention clock by the given number of timesteps.
+// Although drift is derived from the age at read time (a fresh kernel
+// reads it per call), Tick still invalidates the kernel: the frozen fast
+// path belongs to sessions whose arrays do not age mid-run, and a
+// conservative stamp keeps the invalidation contract uniform.
 func (c *Crossbar) Tick(steps int64) {
 	if steps > 0 {
+		c.invalidate()
 		c.age += steps
 	}
 }
@@ -86,6 +91,7 @@ func (c *Crossbar) Tick(steps int64) {
 // SetStuck records a permanent stuck fault on one device of the physical
 // pair (row, col) — plus selects the G⁺ device — and applies its level.
 func (c *Crossbar) SetStuck(row, col int, plus bool, mode FaultMode) {
+	c.invalidate()
 	c.ensureFaults()
 	states := c.P.States()
 	rec := faultRec{kind: kindStuckAP}
@@ -106,6 +112,7 @@ func (c *Crossbar) SetStuck(row, col int, plus bool, mode FaultMode) {
 // (row, col): the device presents `level` regardless of writes until
 // ClearWeak frees it.
 func (c *Crossbar) SetWeak(row, col int, plus bool, level int) {
+	c.invalidate()
 	c.ensureFaults()
 	pi := row*c.physCols + col
 	rec := faultRec{kind: kindWeak, level: int16(clampLevel(level, c.P.States()))}
@@ -133,6 +140,7 @@ func (c *Crossbar) ClearWeak(row, col int, plus bool) bool {
 	if recs[pi].kind != kindWeak {
 		return false
 	}
+	c.invalidate()
 	recs[pi] = faultRec{}
 	return true
 }
@@ -163,6 +171,7 @@ func (c *Crossbar) KillRow(row int) bool {
 	if c.deadRow[row] {
 		return false
 	}
+	c.invalidate()
 	c.deadRow[row] = true
 	return true
 }
@@ -174,6 +183,7 @@ func (c *Crossbar) KillCol(col int) bool {
 	if c.deadCol[col] {
 		return false
 	}
+	c.invalidate()
 	c.deadCol[col] = true
 	return true
 }
@@ -269,6 +279,7 @@ func (c *Crossbar) WritePair(row, col int) {
 // writeDevice drives one device of the physical pair pi toward `want`,
 // honoring its fault record and accounting energy for the level moved.
 func (c *Crossbar) writeDevice(pi int, plus bool, want int) {
+	c.invalidate()
 	applied := c.appliedLevel(pi, plus, want)
 	states := c.P.States()
 	stepEnergy := c.P.WriteEnergyFJ / float64(states-1)
@@ -327,6 +338,7 @@ func (c *Crossbar) RemapRow(row int) bool {
 	if phys < 0 {
 		return false
 	}
+	c.invalidate()
 	old := c.rowMap[row]
 	c.rowMap[row] = phys
 	for col := 0; col < c.Cols; col++ {
@@ -347,6 +359,7 @@ func (c *Crossbar) RemapCol(col int) bool {
 	if phys < 0 {
 		return false
 	}
+	c.invalidate()
 	old := c.colMap[col]
 	c.colMap[col] = phys
 	for r := 0; r < c.Rows; r++ {
@@ -391,6 +404,7 @@ func (c *Crossbar) SparesLeft() (rows, cols int) {
 // fault records) and resets the retention clock — the scrub operation
 // that undoes drift and accumulated read disturb.
 func (c *Crossbar) Refresh() {
+	c.invalidate()
 	for r := 0; r < c.Rows; r++ {
 		for col := 0; col < c.Cols; col++ {
 			c.WritePair(r, col)
@@ -427,6 +441,9 @@ func (c *Crossbar) applyReadDisturb(active int) {
 	}
 	lam := p * float64(active) * float64(2*c.Cols)
 	n := c.noise.Poisson(lam)
+	if n > 0 {
+		c.invalidate()
+	}
 	for i := 0; i < n; i++ {
 		pr := c.rowMap[c.noise.Intn(c.Rows)]
 		pc := c.colMap[c.noise.Intn(c.Cols)]

@@ -326,12 +326,26 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if a.NDim() != 2 || b.NDim() != 2 {
 		panic("tensor: MatMulTransB requires 2-D operands")
 	}
+	out := New(a.shape[0], b.shape[0])
+	MatMulTransBInto(out, a, b)
+	return out
+}
+
+// MatMulTransBInto is MatMulTransB writing into a caller-provided m×n
+// destination, so per-timestep callers reuse one accumulator buffer.
+// Every element of out is assigned.
+func MatMulTransBInto(out, a, b *Tensor) {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic("tensor: MatMulTransB requires 2-D operands")
+	}
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimensions differ: %v × %vᵀ", a.shape, b.shape))
 	}
-	out := New(m, n)
+	if out.NDim() != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransB destination %v, want [%d %d]", out.shape, m, n))
+	}
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]
 		orow := out.data[i*n : (i+1)*n]
@@ -344,7 +358,6 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			orow[j] = s
 		}
 	}
-	return out
 }
 
 // MatMulTransA multiplies aᵀ (where a is k×m) by b (k×n), returning m×n.
@@ -406,6 +419,27 @@ func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
 	out := New(c*kh*kw, oh*ow)
+	Im2ColInto(out, img, kh, kw, stride, pad)
+	return out
+}
+
+// Im2ColInto is Im2Col writing into a caller-provided
+// (C*KH*KW) × (OH*OW) destination, so per-timestep convolution unfolds
+// reuse one buffer. The destination is zeroed first (padding positions
+// must read as zero).
+func Im2ColInto(out, img *Tensor, kh, kw, stride, pad int) {
+	if img.NDim() != 3 {
+		panic("tensor: Im2Col requires a C×H×W tensor")
+	}
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if out.NDim() != 2 || out.shape[0] != c*kh*kw || out.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2Col destination %v, want [%d %d]", out.shape, c*kh*kw, oh*ow))
+	}
+	for i := range out.data {
+		out.data[i] = 0
+	}
 	for ch := 0; ch < c; ch++ {
 		chBase := ch * h * w
 		for ki := 0; ki < kh; ki++ {
@@ -430,7 +464,6 @@ func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im folds a (C*KH*KW) × (OH*OW) column matrix back into a C×H×W
