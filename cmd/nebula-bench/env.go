@@ -1,0 +1,24 @@
+package main
+
+import "runtime"
+
+// benchEnv stamps the runtime environment into benchmark records so a
+// regression diff can tell a code change from a machine change.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// captureEnv snapshots the environment of this process.
+func captureEnv() benchEnv {
+	return benchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

@@ -44,6 +44,7 @@ type kernelSessionBench struct {
 
 // kernelBench is the BENCH_kernel.json schema.
 type kernelBench struct {
+	Env     benchEnv           `json:"env"`
 	MACRead []kernelMACPoint   `json:"macread"`
 	Session kernelSessionBench `json:"session"`
 }
@@ -155,6 +156,7 @@ func runKernelBench(images, T int, outPath string) error {
 	}
 
 	rec := kernelBench{
+		Env:     captureEnv(),
 		MACRead: points,
 		Session: kernelSessionBench{
 			Workload:         "mlp3-mnistlike",

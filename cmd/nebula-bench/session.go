@@ -20,16 +20,17 @@ import (
 // throughput baseline: one compiled session streaming the test batch
 // sequentially versus through the concurrent engine.
 type sessionBench struct {
-	Workload            string  `json:"workload"`
-	Images              int     `json:"images"`
-	Timesteps           int     `json:"timesteps"`
-	Parallelism         int     `json:"parallelism"`
-	SequentialSec       float64 `json:"sequential_sec"`
-	ParallelSec         float64 `json:"parallel_sec"`
-	SequentialImgPerSec float64 `json:"sequential_img_per_sec"`
-	ParallelImgPerSec   float64 `json:"parallel_img_per_sec"`
-	Speedup             float64 `json:"speedup"`
-	BitwiseIdentical    bool    `json:"bitwise_identical"`
+	Env                 benchEnv `json:"env"`
+	Workload            string   `json:"workload"`
+	Images              int      `json:"images"`
+	Timesteps           int      `json:"timesteps"`
+	Parallelism         int      `json:"parallelism"`
+	SequentialSec       float64  `json:"sequential_sec"`
+	ParallelSec         float64  `json:"parallel_sec"`
+	SequentialImgPerSec float64  `json:"sequential_img_per_sec"`
+	ParallelImgPerSec   float64  `json:"parallel_img_per_sec"`
+	Speedup             float64  `json:"speedup"`
+	BitwiseIdentical    bool     `json:"bitwise_identical"`
 }
 
 // runSessionBench trains the MLP baseline, compiles one sequential and one
@@ -88,6 +89,7 @@ func runSessionBench(images, T, parallel int, outPath string) error {
 	}
 
 	rec := sessionBench{
+		Env:                 captureEnv(),
 		Workload:            "mlp3-mnistlike",
 		Images:              images,
 		Timesteps:           T,

@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	nebula-lint ./...            # lint the whole module (from its root)
-//	nebula-lint -json ./...      # machine-readable report
-//	nebula-lint -suppressed ./...# also list suppressed findings
+//	nebula-lint ./...                        # lint the whole module (from its root)
+//	nebula-lint -format json ./...           # machine-readable report
+//	nebula-lint -rules genstamp,hotalloc ./... # run a subset of analyzers
+//	nebula-lint -suppressed ./...            # also list suppressed findings
+//	nebula-lint -root /path/to/module ./...  # lint another module
 //
 // Exit status is 0 when no unsuppressed error-severity findings exist,
 // 1 when the gate fails, and 2 on usage or load errors. Findings are
@@ -20,59 +22,125 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit the report as JSON")
-	showSuppressed := flag.Bool("suppressed", false, "also list suppressed findings")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nebula-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "human", "output format: human or json")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON (alias for -format json)")
+	showSuppressed := fs.Bool("suppressed", false, "also list suppressed findings")
+	rules := fs.String("rules", "", "comma-separated analyzer subset (default: all); see -list")
+	list := fs.Bool("list", false, "list the available analyzers and exit")
+	rootFlag := fs.String("root", "", "module root to lint (default: nearest go.mod above the working directory)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *jsonOut {
+		*format = "json"
+	}
+	if *format != "human" && *format != "json" {
+		fmt.Fprintf(stderr, "nebula-lint: unknown format %q (human or json)\n", *format)
+		return 2
+	}
 
 	// The only supported pattern is the whole module; accept "./..." (and
 	// no argument) so the invocation reads like go vet.
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg != "./..." && arg != "all" {
-			fmt.Fprintf(os.Stderr, "nebula-lint: unsupported pattern %q (only ./...)\n", arg)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "nebula-lint: unsupported pattern %q (only ./...)\n", arg)
+			return 2
 		}
 	}
 
-	root, err := moduleRoot()
+	analyzers, err := selectAnalyzers(*rules)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nebula-lint: %v\n", err)
+		return 2
+	}
+
+	root := *rootFlag
+	if root == "" {
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintf(stderr, "nebula-lint: %v\n", err)
+			return 2
+		}
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nebula-lint: %v\n", err)
+		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nebula-lint: %v\n", err)
+		return 2
 	}
 	for _, p := range pkgs {
 		for _, te := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "nebula-lint: type error (analysis continues): %v\n", te)
+			fmt.Fprintf(stderr, "nebula-lint: type error (analysis continues): %v\n", te)
 		}
 	}
 
-	report := lint.NewReport(lint.Run(pkgs, lint.Analyzers()))
-	if *jsonOut {
-		if err := report.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "nebula-lint: %v\n", err)
-			os.Exit(2)
+	report := lint.NewReport(lint.Run(pkgs, analyzers))
+	if *format == "json" {
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintf(stderr, "nebula-lint: %v\n", err)
+			return 2
 		}
 	} else {
-		report.WriteHuman(os.Stdout, *showSuppressed)
+		report.WriteHuman(stdout, *showSuppressed)
 	}
 	if report.Errors > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// selectAnalyzers resolves a comma-separated -rules list against the
+// registry; an empty list selects every analyzer.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(lint.AnalyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-rules selected no analyzers")
+	}
+	return out, nil
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

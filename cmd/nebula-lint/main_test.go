@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureRoot returns the absolute path of the seeded lint fixture
+// module (its own go.mod keeps it out of the parent build and lint).
+func fixtureRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "lintmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRunJSONGolden pins the machine-readable contract of the three
+// flow analyzers end to end: CLI flag parsing, module loading, analyzer
+// subsetting and the JSON schema, against a seeded fixture module.
+func TestRunJSONGolden(t *testing.T) {
+	root := fixtureRoot(t)
+	var out, errs bytes.Buffer
+	code := run([]string{"-root", root, "-format", "json", "-rules", "genstamp,hotalloc,ctxflow", "./..."}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (seeded errors must fail the gate)\nstderr: %s", code, errs.String())
+	}
+	if errs.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errs.String())
+	}
+	got := strings.ReplaceAll(out.String(), filepath.ToSlash(root), "$ROOT")
+	got = strings.ReplaceAll(got, root, "$ROOT")
+	goldenPath := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestRunJSONGolden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("JSON report drifted from golden file.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRunHumanFormat(t *testing.T) {
+	root := fixtureRoot(t)
+	var out, errs bytes.Buffer
+	code := run([]string{"-root", root, "./..."}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	for _, frag := range []string{"[genstamp]", "[hotalloc]", "[ctxflow]", "dev.go", "hot.go", "flow.go"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("human output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestRunRuleSubsetExcludes proves -rules actually narrows the run: the
+// determinism analyzer alone sees a clean fixture.
+func TestRunRuleSubsetExcludes(t *testing.T) {
+	root := fixtureRoot(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"-root", root, "-rules", "determinism", "./..."}, &out, &errs); code != 0 {
+		t.Fatalf("exit code %d, want 0\nstdout: %s", code, out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	root := fixtureRoot(t)
+	cases := []struct {
+		name string
+		args []string
+		frag string
+	}{
+		{"unknown rule", []string{"-root", root, "-rules", "nosuchrule"}, "unknown rule"},
+		{"empty rules", []string{"-root", root, "-rules", ","}, "selected no analyzers"},
+		{"unknown format", []string{"-root", root, "-format", "yaml"}, "unknown format"},
+		{"bad pattern", []string{"-root", root, "./cmd/..."}, "unsupported pattern"},
+		{"missing module", []string{"-root", filepath.Join(root, "nosuchdir")}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errs bytes.Buffer
+			if code := run(tc.args, &out, &errs); code != 2 {
+				t.Fatalf("exit code %d, want 2", code)
+			}
+			if !strings.Contains(errs.String(), tc.frag) {
+				t.Errorf("stderr %q missing %q", errs.String(), tc.frag)
+			}
+		})
+	}
+}
+
+// TestRunList keeps the -list inventory in lockstep with the registry.
+func TestRunList(t *testing.T) {
+	var out, errs bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errs); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, name := range lint.AnalyzerNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s", name)
+		}
+	}
+}
+
+// TestRunJSONAlias keeps the legacy -json flag working.
+func TestRunJSONAlias(t *testing.T) {
+	root := fixtureRoot(t)
+	var out, errs bytes.Buffer
+	code := run([]string{"-root", root, "-json", "-rules", "ctxflow", "./..."}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "\"rule\": \"ctxflow\"") {
+		t.Errorf("-json did not emit JSON: %s", out.String())
+	}
+}

@@ -1,0 +1,23 @@
+// Package dev seeds one genstamp violation for the nebula-lint golden
+// test: Dev is generation-stamped and Uncovered writes device state
+// without invalidating.
+package dev
+
+// Dev carries a kernel generation stamp.
+type Dev struct {
+	gen uint64
+	w   []float64
+}
+
+func (d *Dev) invalidate() { d.gen++ }
+
+// Covered invalidates before writing: clean.
+func (d *Dev) Covered(v float64) {
+	d.invalidate()
+	d.w[0] = v
+}
+
+// Uncovered writes without invalidating: the seeded violation.
+func (d *Dev) Uncovered(v float64) {
+	d.w[0] = v
+}

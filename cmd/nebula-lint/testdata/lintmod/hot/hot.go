@@ -1,0 +1,16 @@
+// Package hot seeds one hotalloc violation for the nebula-lint golden
+// test: Sum is a hot root whose per-call scratch allocation is banned.
+package hot
+
+// Sum accumulates xs through a needless scratch copy.
+//
+//nebula:hotpath
+func Sum(xs []float64) float64 {
+	scratch := make([]float64, len(xs))
+	copy(scratch, xs)
+	total := 0.0
+	for _, v := range scratch {
+		total += v
+	}
+	return total
+}

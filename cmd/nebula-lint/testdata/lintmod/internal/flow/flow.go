@@ -1,0 +1,21 @@
+// Package flow seeds ctxflow violations for the nebula-lint golden
+// test: a misordered ctx parameter and two fresh context roots.
+package flow
+
+import "context"
+
+// Misordered takes ctx in the wrong slot.
+func Misordered(n int, ctx context.Context) {}
+
+// Fresh roots a context inside internal code.
+func Fresh() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// Stale discards its ctx parameter for a fresh root.
+func Stale(ctx context.Context) {
+	helper(context.TODO())
+}
+
+func helper(ctx context.Context) {}

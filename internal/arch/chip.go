@@ -239,6 +239,7 @@ func (ch *Chip) RunSNN(c *convert.Converted, img *tensor.Tensor, T int, enc *snn
 	if err != nil {
 		return nil, err
 	}
+	//nebula:lint-ignore ctxflow deprecated shim has no ctx to thread; callers wanting deadlines use Compile+Run
 	return sess.Run(context.Background(), img)
 }
 

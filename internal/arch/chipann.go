@@ -98,5 +98,6 @@ func (ch *Chip) RunANN(c *convert.Converted, img *tensor.Tensor) (*RunResult, er
 	if err != nil {
 		return nil, err
 	}
+	//nebula:lint-ignore ctxflow deprecated shim has no ctx to thread; callers wanting deadlines use Compile+Run
 	return sess.Run(context.Background(), img)
 }

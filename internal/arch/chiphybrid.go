@@ -79,5 +79,6 @@ func (ch *Chip) RunHybrid(c *convert.Converted, nonSpiking int, img *tensor.Tens
 	if err != nil {
 		return nil, err
 	}
+	//nebula:lint-ignore ctxflow deprecated shim has no ctx to thread; callers wanting deadlines use Compile+Run
 	return sess.Run(context.Background(), img)
 }

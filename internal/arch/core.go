@@ -180,6 +180,8 @@ func integrateBank(p device.Params, vth float64, bank []*device.SpikingNeuron, s
 // integrateBankInto is integrateBank writing the spike vector into a
 // caller-provided buffer of len(sums), so the session engine's hot loop
 // reuses one buffer per stage instead of allocating per timestep.
+//
+//nebula:hotpath
 func integrateBankInto(out []float64, p device.Params, vth float64, bank []*device.SpikingNeuron, sums []float64) int64 {
 	for i := range out {
 		out[i] = 0

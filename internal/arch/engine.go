@@ -204,6 +204,8 @@ func (env *execEnv) observe(m stageMark, res *RunResult, c *obs.Counters) int64 
 // through the baked kernels, skipping the rows outside act — the spike
 // list of the previous layer (nil: scan the input). The wear path keeps
 // its legacy allocating reads and ignores act/dst/sc.
+//
+//nebula:hotpath
 func (env *execEnv) evaluate(st *SuperTile, in []float64, act []int, dst []float64, sc *EvalScratch) ([]float64, error) {
 	if env.wear {
 		return st.Evaluate(in)
@@ -224,6 +226,8 @@ func (env *execEnv) evaluate(st *SuperTile, in []float64, act []int, dst []float
 // the run's private neuron bank, mirroring SNNCore.step cycle for cycle.
 // act is the input spike list (nil: scan); the spike vector returned
 // aliases sr.fire and is valid until the stage's next step.
+//
+//nebula:hotpath
 func (env *execEnv) coreStep(core *SNNCore, sr *stageRun, pos int, in []float64, act []int, bias []float64, res *RunResult) ([]float64, error) {
 	bank := sr.neurons
 	if (pos+1)*core.kernels > len(bank) {
@@ -258,6 +262,8 @@ func (env *execEnv) coreStep(core *SNNCore, sr *stageRun, pos int, in []float64,
 // returned aliases sr.fire. Spill blocks let the kernels rediscover
 // their slice's activity (the per-block row windows would need the
 // spike list re-based anyway).
+//
+//nebula:hotpath
 func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
 	membranes := sr.membranes
 	if (pos+1)*sp.kernels > len(membranes) {

@@ -251,6 +251,8 @@ type EvalScratch struct {
 // active, when non-nil, must list exactly the indices of the non-zero
 // input entries in increasing order — the previous layer's spike list.
 // nil makes the scratch build the list by scanning the input once.
+//
+//nebula:hotpath
 func (st *SuperTile) EvaluateReadInto(dst, input []float64, active []int, noise *rng.Rand, stats *crossbar.Stats, sc *EvalScratch) error {
 	if st.stack == 0 {
 		return fmt.Errorf("arch: super-tile not programmed")

@@ -159,6 +159,7 @@ func (p *Pipeline) RunOnChip(imageIdx, T int) (*arch.RunResult, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	//nebula:lint-ignore ctxflow single-use convenience entry; deadline-aware callers use CompileChip and RunBatchOnChip
 	res, err := sess.Run(context.Background(), img)
 	return res, label, err
 }

@@ -101,9 +101,12 @@ type Crossbar struct {
 	// faultPlus/faultMinus record injected device faults (allocated
 	// lazily on first injection); deadRow/deadCol mark failed physical
 	// lines. spareRowsFree/spareColsFree list physical spares not yet
-	// consumed by a remap.
-	faultPlus, faultMinus        []faultRec
-	deadRow, deadCol             []bool
+	// consumed by a remap; the free lists are pure allocator
+	// bookkeeping — which spares remain does not affect what a read
+	// observes until a remap rewrites the line maps.
+	faultPlus, faultMinus []faultRec
+	deadRow, deadCol      []bool
+	//nebula:genstamp-exempt spare-line free lists are allocator state, not read-visible
 	spareRowsFree, spareColsFree []int
 
 	// age counts elapsed timesteps since the last full (re)programming,
@@ -111,7 +114,10 @@ type Crossbar struct {
 	age int64
 
 	// wmax maps level States-1 to weight magnitude wmax.
-	wmax  float64
+	wmax float64
+	// stats accumulates activity counters; readers fold deltas into
+	// their own Stats, so the shared counters never feed a read result.
+	//nebula:genstamp-exempt activity accounting, not read-visible state
 	stats Stats
 	noise *rng.Rand
 
@@ -119,7 +125,8 @@ type Crossbar struct {
 	// dead lines, retention clock); kern is the frozen read kernel baked
 	// against one generation. A kernel whose generation falls behind is
 	// stale and the read path falls back to the dense walk. See kernel.go.
-	gen  uint64
+	gen uint64
+	//nebula:genstamp-exempt the kernel is the cache keyed by gen, not the state it caches
 	kern *readKernel
 }
 

@@ -40,7 +40,12 @@ type faultRec struct {
 func (f faultRec) stuck() bool { return f.kind == kindStuckAP || f.kind == kindStuckP }
 
 // ensureFaults lazily allocates the fault-record and dead-line state so
-// fault-free arrays pay nothing.
+// fault-free arrays pay nothing. Materializing the all-healthy state
+// changes nothing a read can observe, so the method sits outside the
+// generation contract; every caller that then records a fault
+// invalidates on its own behalf.
+//
+//nebula:genstamp-exempt allocates all-healthy records; read results unchanged
 func (c *Crossbar) ensureFaults() {
 	if c.faultPlus == nil {
 		c.faultPlus = make([]faultRec, c.physRows*c.physCols)
@@ -441,9 +446,10 @@ func (c *Crossbar) applyReadDisturb(active int) {
 	}
 	lam := p * float64(active) * float64(2*c.Cols)
 	n := c.noise.Poisson(lam)
-	if n > 0 {
-		c.invalidate()
+	if n == 0 {
+		return
 	}
+	c.invalidate()
 	for i := 0; i < n; i++ {
 		pr := c.rowMap[c.noise.Intn(c.Rows)]
 		pc := c.colMap[c.noise.Intn(c.Cols)]

@@ -109,6 +109,8 @@ func (c *Crossbar) invalidate() { c.gen++ }
 // Like MACRead, it has no wear side effects and may run on any number
 // of goroutines against a programmed array, as long as nothing mutates
 // the array meanwhile.
+//
+//nebula:hotpath
 func (c *Crossbar) MACReadInto(dst, input []float64, active []int, noise *rng.Rand, stats *Stats) error {
 	if len(dst) != c.Cols {
 		return fmt.Errorf("crossbar: destination length %d, want %d cols", len(dst), c.Cols)

@@ -2,9 +2,12 @@ package crossbar
 
 import (
 	"math"
+	"path/filepath"
+	"sort"
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/lint"
 	"repro/internal/rng"
 )
 
@@ -186,58 +189,65 @@ func TestMACReadIntoChecksLengths(t *testing.T) {
 	}
 }
 
+// freshnessTable is the runtime half of the kernel-invalidation gate:
+// one entry per exported mutator of read-visible state, each applied to
+// a freshly baked crossbar to prove it marks the kernel stale. The
+// genstamp static analyzer discovers the same mutator set from the code
+// itself; TestFreshnessTableMatchesGenstamp cross-checks the two so a
+// new mutator cannot land without a table entry.
+var freshnessTable = []struct {
+	name   string
+	mutate func(t *testing.T, c *Crossbar)
+}{
+	{"Program", func(t *testing.T, c *Crossbar) {
+		if err := c.Program(randWeights(rng.New(9), c.Rows, c.Cols, 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}},
+	{"InjectStuckFaults", func(t *testing.T, c *Crossbar) { c.InjectStuckFaults(rng.New(4), 0.1, StuckAP) }},
+	{"SetStuck", func(t *testing.T, c *Crossbar) { c.SetStuck(1, 1, true, StuckP) }},
+	{"SetWeak", func(t *testing.T, c *Crossbar) { c.SetWeak(2, 2, false, 1) }},
+	{"ClearWeak", func(t *testing.T, c *Crossbar) {
+		c.SetWeak(2, 2, false, 1)
+		c.BakeKernel()
+		if !c.ClearWeak(2, 2, false) {
+			t.Fatal("ClearWeak found nothing to clear")
+		}
+	}},
+	{"KillRow", func(t *testing.T, c *Crossbar) { c.KillRow(3) }},
+	{"KillCol", func(t *testing.T, c *Crossbar) { c.KillCol(3) }},
+	{"RemapRow", func(t *testing.T, c *Crossbar) {
+		if !c.RemapRow(0) {
+			t.Fatal("no spare row")
+		}
+	}},
+	{"RemapCol", func(t *testing.T, c *Crossbar) {
+		if !c.RemapCol(0) {
+			t.Fatal("no spare col")
+		}
+	}},
+	{"WritePair", func(t *testing.T, c *Crossbar) { c.WritePair(0, 0) }},
+	{"CompensatePair", func(t *testing.T, c *Crossbar) {
+		c.SetStuck(0, 0, true, StuckP)
+		c.BakeKernel()
+		c.CompensatePair(0, 0)
+	}},
+	{"Tick", func(t *testing.T, c *Crossbar) { c.Tick(1) }},
+	{"Refresh", func(t *testing.T, c *Crossbar) { c.Refresh() }},
+}
+
 // TestKernelFreshAfterMutators pins the invalidation contract: every
 // mutator of read-visible state must mark the kernel stale, and a rebake
 // must restore the fast path.
 func TestKernelFreshAfterMutators(t *testing.T) {
-	cases := []struct {
-		name   string
-		mutate func(c *Crossbar)
-	}{
-		{"Program", func(c *Crossbar) {
-			if err := c.Program(randWeights(rng.New(9), c.Rows, c.Cols, 1), 1); err != nil {
-				t.Fatal(err)
-			}
-		}},
-		{"InjectStuckFaults", func(c *Crossbar) { c.InjectStuckFaults(rng.New(4), 0.1, StuckAP) }},
-		{"SetStuck", func(c *Crossbar) { c.SetStuck(1, 1, true, StuckP) }},
-		{"SetWeak", func(c *Crossbar) { c.SetWeak(2, 2, false, 1) }},
-		{"ClearWeak", func(c *Crossbar) {
-			c.SetWeak(2, 2, false, 1)
-			c.BakeKernel()
-			if !c.ClearWeak(2, 2, false) {
-				t.Fatal("ClearWeak found nothing to clear")
-			}
-		}},
-		{"KillRow", func(c *Crossbar) { c.KillRow(3) }},
-		{"KillCol", func(c *Crossbar) { c.KillCol(3) }},
-		{"RemapRow", func(c *Crossbar) {
-			if !c.RemapRow(0) {
-				t.Fatal("no spare row")
-			}
-		}},
-		{"RemapCol", func(c *Crossbar) {
-			if !c.RemapCol(0) {
-				t.Fatal("no spare col")
-			}
-		}},
-		{"WritePair", func(c *Crossbar) { c.WritePair(0, 0) }},
-		{"CompensatePair", func(c *Crossbar) {
-			c.SetStuck(0, 0, true, StuckP)
-			c.BakeKernel()
-			c.CompensatePair(0, 0)
-		}},
-		{"Tick", func(c *Crossbar) { c.Tick(1) }},
-		{"Refresh", func(c *Crossbar) { c.Refresh() }},
-	}
-	for _, tc := range cases {
+	for _, tc := range freshnessTable {
 		t.Run(tc.name, func(t *testing.T) {
 			_, sub := newTwin(21, 16, 12, kernelCfg())
 			sub.BakeKernel()
 			if !sub.KernelFresh() {
 				t.Fatal("kernel stale after bake")
 			}
-			tc.mutate(sub)
+			tc.mutate(t, sub)
 			if sub.KernelFresh() {
 				t.Fatalf("%s left the kernel fresh", tc.name)
 			}
@@ -247,6 +257,63 @@ func TestKernelFreshAfterMutators(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestFreshnessTableMatchesGenstamp cross-checks the runtime freshness
+// table against the genstamp analyzer's statically discovered mutator
+// set: every table entry must be rediscovered from the code, and the
+// only mutators beyond the table must be the known internal ones, so
+// neither gate can silently fall behind the other.
+func TestFreshnessTableMatchesGenstamp(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	survey := lint.MutatorSurvey(lint.NewProgram(pkgs))
+	discovered := survey["repro/internal/crossbar.Crossbar"]
+	if len(discovered) == 0 {
+		t.Fatalf("genstamp discovered no Crossbar mutators; survey keys: %v", keysOf(survey))
+	}
+	set := map[string]bool{}
+	for _, name := range discovered {
+		set[name] = true
+	}
+	for _, tc := range freshnessTable {
+		if !set[tc.name] {
+			t.Errorf("freshness-table entry %s not discovered by genstamp; stale table entry?", tc.name)
+		}
+	}
+	// The complement direction: mutators the analyzer sees beyond the
+	// table. MAC mutates only through stochastic read disturb (its own
+	// invalidation is exercised by the interleaved property test), and
+	// the unexported helpers are reached through exported entries.
+	known := map[string]bool{"MAC": true, "writeDevice": true, "applyReadDisturb": true}
+	tabled := map[string]bool{}
+	for _, tc := range freshnessTable {
+		tabled[tc.name] = true
+	}
+	for _, name := range discovered {
+		if !tabled[name] && !known[name] {
+			t.Errorf("genstamp discovered mutator %s with no freshness-table entry; add one to TestKernelFreshAfterMutators", name)
+		}
+	}
+}
+
+func keysOf(m map[string][]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TestKernelInvalidationInterleaved is the property test of the

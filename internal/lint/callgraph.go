@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds the module-wide view behind the flow-sensitive
+// analyzers (genstamp, hotalloc): a Program bundling every loaded
+// package with a lightweight intra-module static call graph. The graph
+// is deliberately simple — it resolves only direct calls to named
+// functions and methods (through go/types object identity, which the
+// loader preserves across packages by memoizing type-checked imports).
+// Calls through interfaces, function values and builtins are not
+// resolved; analyzers that consume the graph document that boundary.
+
+// CallSite is one statically resolved call inside a function body.
+type CallSite struct {
+	// Callee is the resolved target.
+	Callee *FuncInfo
+	// Call is the call expression at the site.
+	Call *ast.CallExpr
+}
+
+// FuncInfo is one function or method declaration of the module.
+type FuncInfo struct {
+	// Obj is the type-checker object of the declaration.
+	Obj *types.Func
+	// Decl is the AST declaration (always with a body; bodyless
+	// declarations are not registered).
+	Decl *ast.FuncDecl
+	// Pkg is the package the declaration lives in.
+	Pkg *Package
+	// Callees lists the statically resolved intra-module calls made by
+	// the body, in source order.
+	Callees []CallSite
+}
+
+// Name returns the qualified name package.Func or package.Type.Method.
+func (f *FuncInfo) Name() string {
+	name := f.Obj.Name()
+	if recv := f.Obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	return f.Pkg.Path + "." + name
+}
+
+// Program is the whole-module view handed to flow analyzers: every
+// loaded package plus the intra-module call graph over their function
+// declarations.
+type Program struct {
+	// Pkgs holds the loaded packages, sorted by import path.
+	Pkgs []*Package
+	// Funcs indexes every function/method declaration by its
+	// type-checker object.
+	Funcs map[*types.Func]*FuncInfo
+
+	byFile map[string]*Package // filename -> owning package
+}
+
+// NewProgram builds the call graph over the given packages. Packages
+// must come from one Loader (or share a FileSet) so cross-package
+// object identity holds.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:   append([]*Package(nil), pkgs...),
+		Funcs:  map[*types.Func]*FuncInfo{},
+		byFile: map[string]*Package{},
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	// Pass 1: register declarations.
+	for _, p := range prog.Pkgs {
+		for _, file := range p.Files {
+			prog.byFile[p.Fset.Position(file.Pos()).Filename] = p
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				prog.Funcs[obj] = &FuncInfo{Obj: obj, Decl: fd, Pkg: p}
+			}
+		}
+	}
+	// Pass 2: resolve call sites against the registered declarations.
+	for _, fn := range prog.Funcs {
+		fn := fn
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := prog.calleeOf(fn.Pkg, call); callee != nil {
+				fn.Callees = append(fn.Callees, CallSite{Callee: callee, Call: call})
+			}
+			return true
+		})
+	}
+	return prog
+}
+
+// PackageFor returns the package owning the given file, or nil.
+func (prog *Program) PackageFor(file string) *Package {
+	return prog.byFile[file]
+}
+
+// calleeOf resolves the static target of a call within pkg, returning
+// nil for builtins, conversions, function values, interface dispatch
+// and out-of-module targets.
+func (prog *Program) calleeOf(p *Package, call *ast.CallExpr) *FuncInfo {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		// Method call or package-qualified function: both resolve
+		// through the selector identifier. For method values reached
+		// through embedding the selection carries the real target.
+		if sel, ok := p.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = p.Info.Uses[fun.Sel]
+		}
+	default:
+		return nil
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return prog.Funcs[f]
+}
+
+// receiverObj returns the object of a method's receiver variable, or
+// nil for free functions and anonymous receivers.
+func receiverObj(p *Package, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.Info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+// receiverNamed returns the named type a method declaration is bound
+// to, looking through one pointer.
+func receiverNamed(p *Package, decl *ast.FuncDecl) *types.Named {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	t := p.Info.Types[decl.Recv.List[0].Type].Type
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

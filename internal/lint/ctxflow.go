@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The ctxflow analyzer enforces the context-propagation discipline
+// that per-request deadlines will rely on: inside internal/ library
+// packages, context.Context must be the first parameter of any
+// function that takes one, context.Background()/context.TODO() are
+// banned (contexts enter at roots — cmd/, examples, tests — and are
+// threaded down), and a function holding a ctx parameter must pass
+// that ctx (or something derived from it) to every context-accepting
+// callee. Deprecated shims that deliberately root a fresh context
+// carry //nebula:lint-ignore ctxflow suppressions.
+
+// CtxflowAnalyzer returns the ctxflow rule.
+func CtxflowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:     "ctxflow",
+		Doc:      "internal/ packages take ctx first, never create context roots, and propagate ctx to callees",
+		Severity: SeverityWarning,
+		Run:      runCtxflow,
+	}
+}
+
+func runCtxflow(p *Package) []Finding {
+	if !pathIsInternal(p.Path) || p.IsMain() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			out = append(out, checkCtxFunc(p, fd)...)
+		}
+	}
+	return out
+}
+
+// checkCtxFunc applies the three ctxflow rules to one declaration.
+func checkCtxFunc(p *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ctxParam := ctxParamObj(p, fd)
+	// Rule 1: ctx is the first parameter.
+	if ctxParam != nil && fd.Type.Params != nil {
+		first := fd.Type.Params.List[0]
+		if !isContextType(p.Info.Types[first.Type].Type) {
+			out = append(out, errorFinding(p, fd.Name.Pos(), fmt.Sprintf(
+				"%s takes a context.Context that is not the first parameter; ctx leads the signature so call sites read uniformly", fd.Name.Name)))
+		}
+	}
+	if fd.Body == nil {
+		return out
+	}
+	derived := derivedCtxObjs(p, fd, ctxParam)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 2: no fresh context roots inside internal/.
+		if name := contextRootCall(p, call); name != "" {
+			msg := fmt.Sprintf("context.%s creates a fresh context root inside internal/; accept a ctx parameter and thread it from the caller", name)
+			if ctxParam != nil {
+				msg = fmt.Sprintf("context.%s discards the caller's deadline and cancellation; propagate %s's ctx parameter instead", name, fd.Name.Name)
+			}
+			out = append(out, errorFinding(p, call.Pos(), msg))
+			return true
+		}
+		// Rule 3: context-accepting callees receive the function's ctx.
+		if ctxParam == nil {
+			return true
+		}
+		out = append(out, checkCtxArgs(p, call, derived)...)
+		return true
+	})
+	return out
+}
+
+// errorFinding builds an error-severity finding (the analyzer floor is
+// warning; the hard rules escalate).
+func errorFinding(p *Package, pos token.Pos, msg string) Finding {
+	f := findingAt(p.Fset, pos, msg)
+	f.Severity = SeverityError
+	return f
+}
+
+// ctxParamObj returns the object of the declaration's context.Context
+// parameter, or nil.
+func ctxParamObj(p *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(p.Info.Types[field.Type].Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return nil
+		}
+		return p.Info.Defs[field.Names[0]]
+	}
+	return nil
+}
+
+// derivedCtxObjs computes the set of variables carrying the function's
+// context or something derived from it (context.WithCancel/WithTimeout
+// results, re-assignments), by iterating simple assignments to a
+// fixpoint.
+func derivedCtxObjs(p *Package, fd *ast.FuncDecl, ctxParam types.Object) map[types.Object]bool {
+	derived := map[types.Object]bool{}
+	if ctxParam == nil {
+		return derived
+	}
+	derived[ctxParam] = true
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			tainted := false
+			for _, r := range as.Rhs {
+				if exprMentions(p, r, derived) {
+					tainted = true
+				}
+			}
+			if !tainted {
+				return true
+			}
+			for _, l := range as.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil {
+					obj = p.Info.Uses[id]
+				}
+				if obj != nil && !derived[obj] && isContextType(obj.Type()) {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// checkCtxArgs verifies each context-typed argument slot of a call
+// references the function's (derived) ctx.
+func checkCtxArgs(p *Package, call *ast.CallExpr, derived map[types.Object]bool) []Finding {
+	tv := p.Info.Types[call.Fun]
+	if tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	params := sig.Params()
+	var out []Finding
+	for i := 0; i < params.Len() && i < len(call.Args); i++ {
+		if !isContextType(params.At(i).Type()) {
+			continue
+		}
+		arg := call.Args[i]
+		if exprMentions(p, arg, derived) {
+			continue
+		}
+		if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok && contextRootCall(p, c) != "" {
+			continue // the fresh root itself already draws the rule-2 error
+		}
+		out = append(out, findingAt(p.Fset, arg.Pos(), fmt.Sprintf(
+			"context argument %s does not propagate the enclosing function's ctx parameter", types.ExprString(arg))))
+	}
+	return out
+}
+
+// exprMentions reports whether the expression references any object in
+// the set.
+func exprMentions(p *Package, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// contextRootCall returns "Background" or "TODO" when the call creates
+// a fresh context root, else "".
+func contextRootCall(p *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCtxflowFirstParam(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {}
+
+func NoCtx(n int) {}
+`
+	fs := runFixture(t, CtxflowAnalyzer(), "repro/internal/fix", src)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly the Bad signature", fs)
+	}
+	f := fs[0]
+	if !strings.Contains(f.Message, "Bad takes a context.Context that is not the first parameter") {
+		t.Errorf("message = %q", f.Message)
+	}
+	if f.Severity != SeverityError {
+		t.Errorf("severity = %v, want error (hard rule)", f.Severity)
+	}
+}
+
+func TestCtxflowNoFreshRoots(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func root() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+func todo() {
+	_ = context.TODO()
+}
+
+func discards(ctx context.Context) {
+	use(context.Background())
+}
+
+func use(ctx context.Context) {}
+
+func waived() {
+	//nebula:lint-ignore ctxflow fixture exercises suppression
+	_ = context.Background()
+}
+`
+	fs := runFixture(t, CtxflowAnalyzer(), "repro/internal/fix", src)
+	active, suppressed := partition(fs)
+	if len(active) != 3 {
+		t.Fatalf("active = %v, want Background, TODO and the discards call", active)
+	}
+	if !strings.Contains(active[0].Message, "context.Background creates a fresh context root inside internal/") {
+		t.Errorf("root message = %q", active[0].Message)
+	}
+	if !strings.Contains(active[1].Message, "context.TODO creates a fresh context root") {
+		t.Errorf("todo message = %q", active[1].Message)
+	}
+	// With a ctx parameter in scope the message names the better fix.
+	if !strings.Contains(active[2].Message, "discards the caller's deadline and cancellation; propagate discards's ctx parameter") {
+		t.Errorf("discards message = %q", active[2].Message)
+	}
+	for _, f := range active {
+		if f.Severity != SeverityError {
+			t.Errorf("%q severity = %v, want error", f.Message, f.Severity)
+		}
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("suppressed = %v, want the waived Background", suppressed)
+	}
+}
+
+func TestCtxflowPropagation(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func callee(ctx context.Context, n int) {}
+
+func Good(ctx context.Context) {
+	callee(ctx, 1)
+}
+
+func Derived(ctx context.Context) {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	callee(child, 2)
+}
+
+func Stale(ctx context.Context, saved context.Context) {
+	callee(saved, 3)
+}
+`
+	fs := runFixture(t, CtxflowAnalyzer(), "repro/internal/fix", src)
+	active, _ := partition(fs)
+	if len(active) != 1 {
+		t.Fatalf("active = %v, want only the stale propagation", active)
+	}
+	f := active[0]
+	if !strings.Contains(f.Message, "context argument saved does not propagate the enclosing function's ctx parameter") {
+		t.Errorf("message = %q", f.Message)
+	}
+	if f.Severity != SeverityWarning {
+		t.Errorf("severity = %v, want warning (propagation is advisory)", f.Severity)
+	}
+}
+
+func TestCtxflowScope(t *testing.T) {
+	// Outside internal/ the analyzer stays silent.
+	src := `package fix
+
+import "context"
+
+func Bad(n int, ctx context.Context) {
+	_ = context.Background()
+}
+`
+	if fs := runFixture(t, CtxflowAnalyzer(), "repro/pkg/fix", src); len(fs) != 0 {
+		t.Errorf("findings outside internal/: %v", fs)
+	}
+	// main packages under internal/ (e.g. internal tools) are roots too.
+	mainSrc := `package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}
+`
+	if fs := runFixture(t, CtxflowAnalyzer(), "repro/internal/tool", mainSrc); len(fs) != 0 {
+		t.Errorf("findings in a main package: %v", fs)
+	}
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// genstampFixture is a stamped type exercising the core flow cases:
+// dominated writes, undominated writes, branch/loop/switch merges, the
+// alwaysInvalidates helper pattern and exempt fields/methods.
+const genstampFixture = `package fix
+
+type Dev struct {
+	gen uint64
+	w   []float64
+	m   map[string]int
+	//nebula:genstamp-exempt activity counter, not read-visible
+	hits int
+}
+
+func (d *Dev) invalidate() { d.gen++ }
+
+// stamp always invalidates on every return, like writeDevice.
+func (d *Dev) stamp() {
+	d.invalidate()
+}
+
+func (d *Dev) Good(i int, v float64) {
+	d.invalidate()
+	d.w[i] = v
+}
+
+func (d *Dev) ViaHelper(v float64) {
+	d.stamp()
+	d.w[0] = v
+}
+
+func (d *Dev) Bad(i int, v float64) {
+	d.w[i] = v
+}
+
+func (d *Dev) BothBranches(ok bool, v float64) {
+	if ok {
+		d.invalidate()
+	} else {
+		d.invalidate()
+	}
+	d.w[0] = v
+}
+
+func (d *Dev) OneBranch(ok bool, v float64) {
+	if ok {
+		d.invalidate()
+	}
+	d.w[0] = v
+}
+
+func (d *Dev) EarlyReturn(ok bool, v float64) {
+	if !ok {
+		return
+	}
+	d.invalidate()
+	d.w[0] = v
+}
+
+func (d *Dev) InLoop(vs []float64) {
+	d.invalidate()
+	for i, v := range vs {
+		d.w[i] = v
+	}
+}
+
+func (d *Dev) SwitchDefault(k int, v float64) {
+	switch k {
+	case 0:
+		d.invalidate()
+	default:
+		d.invalidate()
+	}
+	d.w[0] = v
+}
+
+func (d *Dev) SwitchNoDefault(k int, v float64) {
+	switch k {
+	case 0:
+		d.invalidate()
+	case 1:
+		d.invalidate()
+	}
+	d.w[0] = v
+}
+
+func (d *Dev) CountHit() {
+	d.hits++
+}
+
+//nebula:genstamp-exempt lazy allocation, read results unchanged
+func (d *Dev) ensure() {
+	if d.m == nil {
+		d.m = map[string]int{}
+	}
+}
+
+// plain has a gen field but no invalidate method: not stamped, writes
+// are unchecked.
+type plain struct {
+	gen uint64
+	buf []float64
+}
+
+func (p *plain) Set(v float64) { p.buf[0] = v }
+`
+
+func genstampFindingsByFunc(t *testing.T, src string) (active, suppressed map[string]int) {
+	t.Helper()
+	fs := runFixture(t, GenstampAnalyzer(), "repro/internal/fix", src)
+	active, suppressed = map[string]int{}, map[string]int{}
+	for _, f := range fs {
+		// Messages carry "Dev.<Method> writes device field ...".
+		name := f.Message[:strings.Index(f.Message, " writes")]
+		if f.Suppressed {
+			suppressed[name]++
+		} else {
+			active[name]++
+		}
+		if f.Severity != SeverityError {
+			t.Errorf("%s: severity %v, want error", name, f.Severity)
+		}
+	}
+	return active, suppressed
+}
+
+func TestGenstampFlow(t *testing.T) {
+	active, _ := genstampFindingsByFunc(t, genstampFixture)
+	wantClean := []string{"Dev.Good", "Dev.ViaHelper", "Dev.BothBranches", "Dev.EarlyReturn",
+		"Dev.InLoop", "Dev.SwitchDefault", "Dev.CountHit", "Dev.ensure", "plain.Set"}
+	for _, name := range wantClean {
+		if active[name] != 0 {
+			t.Errorf("%s flagged %d times, want clean", name, active[name])
+		}
+	}
+	wantFlagged := []string{"Dev.Bad", "Dev.OneBranch", "Dev.SwitchNoDefault"}
+	for _, name := range wantFlagged {
+		if active[name] != 1 {
+			t.Errorf("%s flagged %d times, want 1", name, active[name])
+		}
+	}
+	if total := len(wantFlagged); len(active) != total {
+		t.Errorf("active findings for %v, want exactly %v", active, wantFlagged)
+	}
+}
+
+func TestGenstampSurvey(t *testing.T) {
+	p := loadFixture(t, "repro/internal/fix", genstampFixture)
+	survey := MutatorSurvey(NewProgram([]*Package{p}))
+	got, ok := survey["repro/internal/fix.Dev"]
+	if !ok {
+		t.Fatalf("survey %v missing stamped type Dev", survey)
+	}
+	// Every method writing d.w is a mutator; exempt-field and
+	// exempt-method writes are not; plain is not stamped at all.
+	want := []string{"Bad", "BothBranches", "EarlyReturn", "Good", "InLoop",
+		"OneBranch", "SwitchDefault", "SwitchNoDefault", "ViaHelper"}
+	if len(got) != len(want) {
+		t.Fatalf("survey = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survey = %v, want %v", got, want)
+		}
+	}
+	if _, ok := survey["repro/internal/fix.plain"]; ok {
+		t.Error("plain (no invalidate method) surveyed as a stamped type")
+	}
+}
+
+func TestGenstampAliasAndEscape(t *testing.T) {
+	src := `package fix
+
+func sink(p *[]float64) {}
+
+type Dev struct {
+	gen uint64
+	w   []float64
+}
+
+func (d *Dev) invalidate() { d.gen++ }
+
+func (d *Dev) AliasWrite(v float64) {
+	w := d.w
+	w[0] = v
+}
+
+func (d *Dev) AliasCovered(v float64) {
+	w := d.w
+	d.invalidate()
+	w[0] = v
+}
+
+func (d *Dev) Escape() {
+	sink(&d.w)
+}
+
+func (d *Dev) EscapeCovered() {
+	d.invalidate()
+	sink(&d.w)
+}
+
+func (d *Dev) ScalarCopy() float64 {
+	v := d.w[0]
+	v = v * 2
+	return v
+}
+`
+	active, _ := genstampFindingsByFunc(t, src)
+	for _, name := range []string{"Dev.AliasWrite", "Dev.Escape"} {
+		if active[name] != 1 {
+			t.Errorf("%s flagged %d times, want 1", name, active[name])
+		}
+	}
+	for _, name := range []string{"Dev.AliasCovered", "Dev.EscapeCovered", "Dev.ScalarCopy"} {
+		if active[name] != 0 {
+			t.Errorf("%s flagged %d times, want clean", name, active[name])
+		}
+	}
+}
+
+func TestGenstampTransitiveSurveyAndSuppression(t *testing.T) {
+	src := `package fix
+
+type Dev struct {
+	gen uint64
+	w   []float64
+}
+
+func (d *Dev) invalidate() { d.gen++ }
+
+func (d *Dev) Bad(v float64) {
+	d.w[0] = v
+}
+
+// Wrap writes only through Bad: a transitive mutator.
+func (d *Dev) Wrap() {
+	d.Bad(1)
+}
+
+func (d *Dev) Waived(v float64) {
+	//nebula:lint-ignore genstamp fixture exercises suppression
+	d.w[0] = v
+}
+`
+	fs := runFixture(t, GenstampAnalyzer(), "repro/internal/fix", src)
+	active, suppressed := partition(fs)
+	if len(active) != 1 || !strings.Contains(active[0].Message, "Dev.Bad") {
+		t.Fatalf("active = %v, want one Dev.Bad finding", active)
+	}
+	if len(suppressed) != 1 || !strings.Contains(suppressed[0].Message, "Dev.Waived") {
+		t.Fatalf("suppressed = %v, want one Dev.Waived finding", suppressed)
+	}
+	p := loadFixture(t, "repro/internal/fix", src)
+	survey := MutatorSurvey(NewProgram([]*Package{p}))
+	got := survey["repro/internal/fix.Dev"]
+	want := []string{"Bad", "Waived", "Wrap"}
+	if len(got) != len(want) {
+		t.Fatalf("survey = %v, want %v (Wrap mutates transitively)", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("survey = %v, want %v", got, want)
+		}
+	}
+}

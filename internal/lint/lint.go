@@ -3,7 +3,7 @@
 // invariants. It is built only on the standard library (go/parser, go/ast,
 // go/types) so the module stays dependency-free.
 //
-// The suite currently enforces seven rules:
+// The suite currently enforces ten rules:
 //
 //   - determinism: internal packages other than internal/rng must not
 //     import math/rand (or math/rand/v2) or read the wall clock via
@@ -33,6 +33,29 @@
 //     code reports through returned errors and internal/obs recorders,
 //     never by writing to the ambient console, so the machine-readable
 //     exports the CI gates diff stay byte-clean.
+//   - genstamp: on any type carrying a kernel generation field (a `gen`
+//     counter plus an `invalidate` method, e.g. crossbar.Crossbar),
+//     every method that writes device state — field or element
+//     assignment, directly or through same-type callees — must call
+//     invalidate() on every path before the write. Fields and methods
+//     outside the read-visible contract are declared with
+//     //nebula:genstamp-exempt. See genstamp.go.
+//   - hotalloc: functions annotated //nebula:hotpath, and everything
+//     they transitively call within the module, may not contain
+//     allocation-inducing constructs (make, growing append, slice/map
+//     literals, closures, interface boxing, fmt.Sprint*, string
+//     concatenation in loops). Amortized grow-on-demand guards and
+//     terminating error/panic paths are recognized as off the
+//     steady-state path; //nebula:coldpath marks the rest. See
+//     hotalloc.go.
+//   - ctxflow: inside internal/ packages context.Context must be the
+//     first parameter, and context.Background()/context.TODO() are
+//     banned — contexts enter at roots (cmd/, examples, tests) and are
+//     threaded down. See ctxflow.go.
+//
+// The first seven rules are per-package and purely syntax/type driven;
+// the last three are flow analyses over the module-wide call graph
+// built by NewProgram (callgraph.go).
 //
 // Any finding can be suppressed with a justification comment on the same
 // line or the line directly above it:
@@ -123,7 +146,10 @@ func (p *Package) IsMain() bool {
 	return len(p.Files) > 0 && p.Files[0].Name.Name == "main"
 }
 
-// Analyzer is one lint rule.
+// Analyzer is one lint rule. Exactly one of Run and RunProgram is set:
+// Run rules inspect packages independently, RunProgram rules see the
+// whole module at once (with its call graph) for inter-procedural flow
+// analysis.
 type Analyzer struct {
 	// Name is the rule name used in reports and suppression directives.
 	Name string
@@ -134,6 +160,9 @@ type Analyzer struct {
 	// Run inspects one package and returns raw findings. The driver fills
 	// in Rule/Severity/Package and resolves suppressions.
 	Run func(p *Package) []Finding
+	// RunProgram inspects the whole module. Findings are attributed to
+	// packages by file; the driver resolves suppressions the same way.
+	RunProgram func(prog *Program) []Finding
 }
 
 // Analyzers returns the full nebula-lint suite in reporting order.
@@ -146,31 +175,67 @@ func Analyzers() []*Analyzer {
 		ErrwrapAnalyzer(),
 		SyncAnalyzer(),
 		ObsguardAnalyzer(),
+		GenstampAnalyzer(),
+		HotallocAnalyzer(),
+		CtxflowAnalyzer(),
 	}
+}
+
+// AnalyzerNames returns the rule names of the full suite, in order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // Run applies every analyzer to every package and returns findings sorted
 // by file, line and rule. Suppression directives are resolved here so
-// analyzers never need to consult comments.
+// analyzers never need to consult comments. The module-wide Program for
+// flow analyzers is built once and shared.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			prog = NewProgram(pkgs)
+			break
+		}
+	}
 	var out []Finding
+	finalize := func(a *Analyzer, p *Package, f Finding) Finding {
+		f.Rule = a.Name
+		// The analyzer's severity is a floor: a rule may escalate
+		// individual findings (e.g. panic-audit inside the
+		// reliability subsystem) but never emit below its level.
+		if a.Severity > f.Severity {
+			f.Severity = a.Severity
+		}
+		if p != nil {
+			f.Package = p.Path
+			if reason, ok := p.suppressedAt(a.Name, f.File, f.Line); ok {
+				f.Suppressed = true
+				f.SuppressReason = reason
+			}
+		}
+		return f
+	}
 	for _, p := range pkgs {
 		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				f.Rule = a.Name
-				// The analyzer's severity is a floor: a rule may escalate
-				// individual findings (e.g. panic-audit inside the
-				// reliability subsystem) but never emit below its level.
-				if a.Severity > f.Severity {
-					f.Severity = a.Severity
-				}
-				f.Package = p.Path
-				if reason, ok := p.suppressedAt(a.Name, f.File, f.Line); ok {
-					f.Suppressed = true
-					f.SuppressReason = reason
-				}
-				out = append(out, f)
+			if a.Run == nil {
+				continue
 			}
+			for _, f := range a.Run(p) {
+				out = append(out, finalize(a, p, f))
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		for _, f := range a.RunProgram(prog) {
+			out = append(out, finalize(a, prog.PackageFor(f.File), f))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway module on disk and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderStdlibOnlyModule(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+import "strings"
+
+func Upper(s string) string { return strings.ToUpper(s) }
+`,
+		"b/b.go": `package b
+
+import "example.com/m/a"
+
+func Shout(s string) string { return a.Upper(s) + "!" }
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Module != "example.com/m" {
+		t.Fatalf("module = %q", l.Module)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 || pkgs[0].Path != "example.com/m/a" || pkgs[1].Path != "example.com/m/b" {
+		t.Fatalf("loaded %v", pkgs)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) != 0 {
+			t.Errorf("%s: unexpected type errors %v", p.Path, p.TypeErrors)
+		}
+		if p.Types == nil {
+			t.Errorf("%s: nil Types", p.Path)
+		}
+	}
+	// Memoization: a second Load returns the same *Package.
+	again, err := l.Load("example.com/m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkgs[0] {
+		t.Error("Load is not memoized")
+	}
+}
+
+// TestLoaderTypeErrors proves analysis degrades gracefully: a package
+// that fails type-checking still loads with its AST and suppressions so
+// syntax-level analyzers keep working, and the errors are surfaced.
+func TestLoaderTypeErrors(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"bad/bad.go": `package bad
+
+func Broken() int {
+	return undefinedSymbol
+}
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("example.com/m/bad")
+	if err != nil {
+		t.Fatalf("Load returned a hard error for a type-broken package: %v", err)
+	}
+	if len(p.TypeErrors) == 0 {
+		t.Fatal("type errors not surfaced")
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("AST not retained: %d files", len(p.Files))
+	}
+	if p.Info == nil {
+		t.Fatal("partial type info not retained")
+	}
+	// The driver still runs: package-level analyzers see the package.
+	fs := Run([]*Package{p}, Analyzers())
+	_ = fs // no panic is the property under test
+}
+
+func TestLoaderSkipsTestdataAndHidden(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":                "module example.com/m\n\ngo 1.22\n",
+		"a/a.go":                "package a\n",
+		"a/testdata/fix/fix.go": "package fix\n\nthis does not even parse",
+		"a/.hidden/h.go":        "package h\n",
+		"a/_wip/w.go":           "package w\n",
+		"a/a_test.go":           "package a\n\nimport \"testing\"\n\nfunc TestX(t *testing.T) {}\n",
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "example.com/m/a" {
+		t.Fatalf("loaded %v, want only example.com/m/a", pkgs)
+	}
+	if len(pkgs[0].Files) != 1 {
+		t.Fatalf("test files not excluded: %d files", len(pkgs[0].Files))
+	}
+}
+
+func TestLoaderModulePathErrors(t *testing.T) {
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Error("NewLoader succeeded without go.mod")
+	}
+	root := writeModule(t, map[string]string{"go.mod": "// no module line\n"})
+	if _, err := NewLoader(root); err == nil {
+		t.Error("NewLoader succeeded with a go.mod lacking a module directive")
+	}
+}
+
+// TestLoaderSuppressionPlacement pins the two accepted directive
+// positions — same line and directly above — through a disk-loaded
+// package rather than a synthetic fixture.
+func TestLoaderSuppressionPlacement(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+var sameLine = 1.5 //nebula:lint-ignore float-eq same-line directive
+
+//nebula:lint-ignore float-eq preceding-line directive
+var aboveLine = 2.5
+
+var gap = 3.5
+`,
+	})
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := l.Load("example.com/m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(root, "a", "a.go")
+	if reason, ok := p.suppressedAt("float-eq", file, 3); !ok || reason != "same-line directive" {
+		t.Errorf("same-line: %q %v", reason, ok)
+	}
+	if reason, ok := p.suppressedAt("float-eq", file, 6); !ok || reason != "preceding-line directive" {
+		t.Errorf("preceding-line: %q %v", reason, ok)
+	}
+	if _, ok := p.suppressedAt("float-eq", file, 8); ok {
+		t.Error("directive leaked to an unrelated line")
+	}
+	if _, ok := p.suppressedAt("determinism", file, 3); ok {
+		t.Error("rule-specific directive suppressed a different rule")
+	}
+}

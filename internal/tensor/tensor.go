@@ -334,6 +334,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // MatMulTransBInto is MatMulTransB writing into a caller-provided m×n
 // destination, so per-timestep callers reuse one accumulator buffer.
 // Every element of out is assigned.
+//
+//nebula:hotpath
 func MatMulTransBInto(out, a, b *Tensor) {
 	if a.NDim() != 2 || b.NDim() != 2 {
 		panic("tensor: MatMulTransB requires 2-D operands")
@@ -427,6 +429,8 @@ func Im2Col(img *Tensor, kh, kw, stride, pad int) *Tensor {
 // (C*KH*KW) × (OH*OW) destination, so per-timestep convolution unfolds
 // reuse one buffer. The destination is zeroed first (padding positions
 // must read as zero).
+//
+//nebula:hotpath
 func Im2ColInto(out, img *Tensor, kh, kw, stride, pad int) {
 	if img.NDim() != 3 {
 		panic("tensor: Im2Col requires a C×H×W tensor")
