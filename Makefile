@@ -6,7 +6,7 @@ GO ?= go
 # to make a build pass.
 COVER_FLOOR ?= 76.0
 
-.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke cover obs-check kernel-check verify
+.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke chaos-smoke cover obs-check kernel-check verify
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ smoke:
 bench-smoke:
 	$(GO) test -race -run '^$$' -bench BenchmarkSession -benchtime 1x .
 
+# Resilience chaos smoke: one seeded fault storm at smoke scale under
+# the race detector — routing, online scrub, retirement, recompile and
+# bitwise-deterministic retry all exercised in seconds (DESIGN.md §12).
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/experiments -run TestResilienceSmoke
+	$(GO) test -race -count=1 ./internal/fleet
+
 # Coverage gate: fails if total statement coverage drops below
 # COVER_FLOOR. Writes coverage.out and a browsable coverage.html.
 cover:
@@ -75,4 +82,4 @@ kernel-check:
 	$(GO) test -race -count=1 ./internal/arch -run 'TestSessionFrozenKernel|TestCompileBakesKernels|TestWearSessionSkipsBake'
 	@echo "frozen kernels bitwise identical to the dense reference"
 
-verify: build fmt-check lint flow-lint test race smoke bench-smoke cover obs-check kernel-check
+verify: build fmt-check lint flow-lint test race smoke bench-smoke chaos-smoke cover obs-check kernel-check

@@ -10,7 +10,14 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, session, kernel, obs, all.
+// sensitivity, profile, faults, session, kernel, obs, resilience, all.
+//
+// The resilience experiment replays a seeded chaos storm (drift bursts,
+// stuck-device onset, replica kills, run faults, deadline pressure)
+// against a health-aware session pool and against an unpooled session,
+// and records availability/accuracy/latency plus the pool lifecycle
+// counters (-resout, default BENCH_resilience.json); -res-smoke runs
+// the tiny chaos-smoke shape `make chaos-smoke` gates under -race.
 //
 // The session experiment times the program-once / run-many engine
 // (sequential vs batched at -parallel workers) and records the baseline
@@ -60,6 +67,8 @@ func run() int {
 	benchOut := flag.String("benchout", "BENCH_session.json", "output path for the session throughput record")
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the observability counter record")
 	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output path for the frozen-kernel speedup record")
+	resOut := flag.String("resout", "BENCH_resilience.json", "output path for the resilience chaos-study record")
+	resSmoke := flag.Bool("res-smoke", false, "run the resilience experiment at chaos-smoke scale")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
@@ -251,6 +260,9 @@ func run() int {
 		"obs": func() error {
 			return runObsBench(16, 20, *parallel, *obsOut)
 		},
+		"resilience": func() error {
+			return runResilienceBench(*resSmoke, *resOut)
+		},
 		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
@@ -265,7 +277,7 @@ func run() int {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
-		"kernel", "obs",
+		"kernel", "obs", "resilience",
 	}
 
 	names := strings.Split(*exp, ",")

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// resilienceBench is the JSON record of the chaos study: the study
+// result (deterministic for a fixed seed, except the latency block)
+// stamped with the runtime environment.
+type resilienceBench struct {
+	Env    benchEnv                     `json:"env"`
+	Result experiments.ResilienceResult `json:"result"`
+}
+
+// runResilienceBench runs the seeded chaos study against the session
+// pool and writes the availability/accuracy/latency record to outPath.
+// smoke selects the tiny chaos-smoke shape `make chaos-smoke` runs
+// under -race; the default is the published study shape. The wall
+// clock is injected here — internal packages never read it — so the
+// study body stays deterministic while the record still carries real
+// per-request latency.
+func runResilienceBench(smoke bool, outPath string) error {
+	cfg := experiments.DefaultResilienceConfig()
+	if smoke {
+		cfg = experiments.SmokeResilienceConfig()
+	} else {
+		// Deadline pressure: generous enough to never trip on a loaded
+		// CI host, present so every pooled request runs under a real
+		// deadline.
+		cfg.Deadline = 30 * time.Second
+	}
+	start := time.Now()
+	cfg.Now = func() int64 { return int64(time.Since(start)) }
+	res, err := experiments.ResilienceStudy(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+
+	rec := resilienceBench{Env: captureEnv(), Result: res}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s]\n", outPath)
+	return nil
+}

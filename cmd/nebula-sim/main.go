@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,12 +98,17 @@ func main() {
 		np := mapping.MapWorkload(w)
 		fmt.Printf("BIST health scan: %s, device fault rate %.4f, protection %s, seed %d\n",
 			w.Name, *faultRate, prot, *healthSeed)
-		rpt, err := arch.HealthScan(np, sim.Device, crossbar.Config{}, rel, *healthSeed)
+		rpt, err := arch.HealthScan(context.Background(), np, sim.Device, crossbar.Config{}, rel, *healthSeed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nebula-sim: health scan: %v\n", err)
 			os.Exit(1)
 		}
 		rpt.Render(os.Stdout)
+		if rpt.Degraded || !rpt.Healthy(rel.Policy.MaxUnmitigatedFrac) {
+			fmt.Fprintf(os.Stderr, "nebula-sim: health scan: chip degraded (unmitigated fraction %.4f, policy %.4f)\n",
+				rpt.UnmitigatedFrac(), rel.Policy.MaxUnmitigatedFrac)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -787,6 +787,38 @@ func (s *Session) Run(ctx context.Context, input *tensor.Tensor) (*RunResult, er
 	return res, nil
 }
 
+// ReservedStreams is a pair of per-run RNG streams reserved outside the
+// session — by a session pool that owns the stream parent and must be
+// able to replay the exact same draws on a different replica. The pool
+// reserves one pair per request in request order, keeps the originals,
+// and hands each attempt fresh Clones; RunReserved then consumes the
+// clone, so a retry of the same request reproduces the failed attempt
+// bit for bit no matter which replica serves it.
+type ReservedStreams struct {
+	// Enc drives the input encoder; Noise drives crossbar read noise.
+	Enc, Noise *rng.Rand
+}
+
+// RunReserved is Run with the per-run RNG streams supplied by the
+// caller instead of drawn from the session parent. The session's own
+// stream reservation state is untouched, so sessions used purely
+// through RunReserved stay interchangeable: two replicas compiled with
+// the same seed produce bitwise-identical results for the same input
+// and streams. Safe for concurrent use under the same conditions as
+// Run.
+func (s *Session) RunReserved(ctx context.Context, input *tensor.Tensor, rs ReservedStreams) (*RunResult, error) {
+	res, shard, err := s.runOne(ctx, input, runStreams{enc: rs.Enc, noise: rs.Noise})
+	if err != nil {
+		return nil, err
+	}
+	if shard != nil {
+		if err := s.mergeShards([]*obs.RunRecord{shard}); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
 // RunBatch executes a batch of inferences across the session's worker
 // pool and returns one result per input, in input order. Per-run RNG
 // streams are reserved in input order before any worker starts, so the

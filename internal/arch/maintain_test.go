@@ -1,0 +1,187 @@
+package arch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/mapping"
+	"repro/internal/models"
+	"repro/internal/reliability"
+	"repro/internal/rng"
+)
+
+func TestHealthScanHonorsCancellation(t *testing.T) {
+	var w models.Workload
+	for _, cand := range models.PaperWorkloads() {
+		if cand.Name == "lenet5" {
+			w = cand
+		}
+	}
+	np := mapping.MapWorkload(w)
+	rel := reliability.StudyConfig(0.05, reliability.ProtectSpareRemap)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rpt, err := HealthScan(ctx, np, device.DefaultParams(), crossbar.Config{}, rel, 7)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled scan returned %v, want context.Canceled", err)
+	}
+	// The partial report must not claim a full scan happened.
+	full, err := HealthScan(context.Background(), np, device.DefaultParams(), crossbar.Config{}, rel, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.ArraysScanned >= full.ArraysScanned {
+		t.Fatalf("cancelled scan scanned %d arrays, full scan %d", rpt.ArraysScanned, full.ArraysScanned)
+	}
+}
+
+func TestSessionPristineStampLifecycle(t *testing.T) {
+	c, _ := chipFixture(t)
+	sess := compileSession(t, c, WithMode(ModeSNN), WithTimesteps(10), WithSeed(42))
+	if !sess.Pristine() {
+		t.Fatal("freshly compiled session must be pristine")
+	}
+	sess.AgeRetention(500)
+	if sess.Pristine() {
+		t.Fatal("aged session still claims pristine")
+	}
+	rpt, err := sess.Scrub(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Pristine() {
+		t.Fatal("scrubbed session must be pristine again")
+	}
+	if rpt.Refreshes == 0 || rpt.ArraysScanned == 0 || rpt.PairsScanned == 0 {
+		t.Fatalf("scrub did no work: %+v", rpt)
+	}
+	if rpt.MaxDriftAge < 500 {
+		t.Fatalf("scrub report drift age %d, want ≥ 500", rpt.MaxDriftAge)
+	}
+}
+
+// TestScrubRestoresBitwise is the determinism half of the maintenance
+// contract: after drift and a scrub, a session's outputs are bitwise
+// identical to an identically compiled session that never drifted.
+func TestScrubRestoresBitwise(t *testing.T) {
+	c, te := chipFixture(t)
+	ctx := context.Background()
+	opts := []Option{WithMode(ModeSNN), WithTimesteps(10), WithSeed(42)}
+	clean := compileSession(t, c, opts...)
+	aged := compileSession(t, c, opts...)
+	aged.AgeRetention(20000)
+	if _, err := aged.Scrub(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		img, _ := te.Sample(i)
+		want, err := clean.Run(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := aged.Run(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, gd := want.Output.Data(), got.Output.Data()
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("input %d col %d: %v != %v (scrub did not restore bitwise identity)",
+					i, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+func TestScrubHonorsCancellation(t *testing.T) {
+	c, _ := chipFixture(t)
+	sess := compileSession(t, c, WithMode(ModeSNN), WithTimesteps(10), WithSeed(42))
+	sess.AgeRetention(100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Scrub(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled scrub returned %v, want context.Canceled", err)
+	}
+	// An interrupted scrub must not restamp: the session stays suspect.
+	if sess.Pristine() {
+		t.Fatal("cancelled scrub restamped the session")
+	}
+}
+
+func TestInjectStuckFaultsDeterministicAndPolicy(t *testing.T) {
+	c, _ := chipFixture(t)
+	ctx := context.Background()
+	opts := []Option{WithMode(ModeSNN), WithTimesteps(10), WithSeed(42)}
+
+	relChip := func() *Chip {
+		chip := NewChip(device.DefaultParams(), crossbar.Config{}, rng.New(91))
+		chip.Rel = &reliability.Config{
+			Protection: reliability.ProtectSpareRemap,
+			Policy:     reliability.DefaultPolicy(),
+		}
+		return chip
+	}
+	a, err := relChip().Compile(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := relChip().Compile(c, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := a.InjectStuckFaults(99, 0.2, crossbar.StuckAP)
+	nb := b.InjectStuckFaults(99, 0.2, crossbar.StuckAP)
+	if na == 0 || na != nb {
+		t.Fatalf("stuck injection not deterministic: %d vs %d", na, nb)
+	}
+	if a.Pristine() {
+		t.Fatal("fault onset left session pristine")
+	}
+	// 20% stuck devices is far past the default 2% policy: the scrub
+	// must go terminal with a DegradedError carrying its report.
+	_, err = a.Scrub(ctx)
+	var de *reliability.DegradedError
+	if !errors.As(err, &de) {
+		t.Fatalf("scrub of heavily faulted chip returned %v, want DegradedError", err)
+	}
+	if !de.Report.Degraded || de.Report.Unmitigated == 0 {
+		t.Fatalf("degraded report misses residuals: %+v", de.Report)
+	}
+	if de.Report.Healthy(0.02) {
+		t.Fatal("degraded report claims healthy")
+	}
+}
+
+// TestRunReservedMatchesRun pins the external stream-reservation
+// contract the fleet pool builds on: streams split off a parent seeded
+// like the session reproduce Run bit for bit.
+func TestRunReservedMatchesRun(t *testing.T) {
+	c, te := chipFixture(t)
+	ctx := context.Background()
+	opts := []Option{WithMode(ModeSNN), WithTimesteps(10), WithSeed(42)}
+	own := compileSession(t, c, opts...)
+	ext := compileSession(t, c, opts...)
+	parent := rng.New(42)
+	for i := 0; i < 3; i++ {
+		img, _ := te.Sample(i)
+		want, err := own.Run(ctx, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := ReservedStreams{Enc: parent.Split(), Noise: parent.Split()}
+		got, err := ext.RunReserved(ctx, img, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, gd := want.Output.Data(), got.Output.Data()
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("input %d col %d: %v != %v (reserved streams diverge from session reservation)",
+					i, j, gd[j], wd[j])
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/crossbar"
@@ -110,14 +111,19 @@ func (ch *Chip) tickRetention(stages []*stageHW, t int) {
 // injects the fault profile and runs the protection pipeline, returning
 // the aggregate health report. Per-core degradation does not abort the
 // scan — a refused core marks the report Degraded and the scan moves on,
-// which is exactly what a commissioning pass wants to know.
-func HealthScan(np mapping.NetworkPlacement, p device.Params, cfg crossbar.Config, rel *reliability.Config, seed uint64) (reliability.Report, error) {
+// which is exactly what a commissioning pass wants to know. Cancelling
+// ctx aborts between cores; the partial report covers the cores scanned
+// so far.
+func HealthScan(ctx context.Context, np mapping.NetworkPlacement, p device.Params, cfg crossbar.Config, rel *reliability.Config, seed uint64) (reliability.Report, error) {
 	ch := NewChip(p, cfg, rng.New(seed))
 	ch.Rel = rel
 	wstream := ch.split()
 	for _, pl := range np.Placements {
 		if pl.ACsUsed == 0 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return ch.Health(), fmt.Errorf("arch: health scan %s: %w", pl.Layer.Name, err)
 		}
 		// Per-NC geometry: clamp the placement's stack/sets to one
 		// super-tile, mirroring how the mapper chunks oversized layers.
@@ -134,6 +140,9 @@ func HealthScan(np mapping.NetworkPlacement, p device.Params, cfg crossbar.Confi
 		}
 		rows, cols := stack*mapping.M, sets*mapping.M
 		for nc := 0; nc < pl.NCsUsed; nc++ {
+			if err := ctx.Err(); err != nil {
+				return ch.Health(), fmt.Errorf("arch: health scan %s: %w", pl.Layer.Name, err)
+			}
 			st := NewSuperTile(p, ch.coreCfg(), ch.split())
 			w := tensor.New(rows, cols)
 			wd := w.Data()

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -147,11 +148,12 @@ func TestHealthScanDeterministicAndScrub(t *testing.T) {
 	}
 	np := mapping.MapWorkload(w)
 	rel := reliability.StudyConfig(0.05, reliability.ProtectSpareRemap)
-	r1, err := HealthScan(np, device.DefaultParams(), crossbar.Config{}, rel, 7)
+	ctx := context.Background()
+	r1, err := HealthScan(ctx, np, device.DefaultParams(), crossbar.Config{}, rel, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := HealthScan(np, device.DefaultParams(), crossbar.Config{}, rel, 7)
+	r2, err := HealthScan(ctx, np, device.DefaultParams(), crossbar.Config{}, rel, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestHealthScanDeterministicAndScrub(t *testing.T) {
 	if r1.ArraysScanned == 0 || r1.Repaired == 0 {
 		t.Fatalf("scan did nothing: %+v", r1)
 	}
-	r3, err := HealthScan(np, device.DefaultParams(), crossbar.Config{}, rel, 8)
+	r3, err := HealthScan(ctx, np, device.DefaultParams(), crossbar.Config{}, rel, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -205,6 +205,9 @@ type Session struct {
 	// wearMu serializes wear-mode runs, which mutate the programmed
 	// arrays and the chip health report.
 	wearMu sync.Mutex
+	// genStamp is the per-array generation baseline recorded when the
+	// session was last known good (Compile, Scrub); see Pristine.
+	genStamp []uint64
 	// arena recycles per-run scratch state across runs and workers.
 	arena sync.Pool
 }
@@ -302,6 +305,9 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 			return fail(err)
 		}
 	}
+	// The arrays are final; record the known-good generation baseline
+	// that Pristine checks against.
+	s.stampGenerations()
 	return s, nil
 }
 

@@ -91,6 +91,13 @@ func (c *Crossbar) KernelFresh() bool {
 // DropKernel discards the baked kernel, forcing the dense path.
 func (c *Crossbar) DropKernel() { c.kern = nil }
 
+// Generation returns the crossbar's mutation counter. Every mutator of
+// read-visible state (levels, line maps, dead lines, the retention
+// clock) bumps it, so two snapshots comparing equal prove the array has
+// not been touched in between — the staleness check session pools use to
+// keep serving replicas bitwise reproducible.
+func (c *Crossbar) Generation() uint64 { return c.gen }
+
 // invalidate bumps the crossbar generation, marking any baked kernel
 // stale. Every mutator of levels, line maps, dead lines or the
 // retention clock must call it.

@@ -1,0 +1,403 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/reliability"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// This file is the chaos study behind `nebula-bench -exp resilience`:
+// the same seeded fault storm is replayed against a health-aware
+// session pool and against an unpooled single session, and both are
+// measured against an undisturbed golden baseline. The claims under
+// test: the pool keeps serving (≥99% success) with every served result
+// bitwise identical to the baseline, while the unpooled session
+// accumulates stuck devices until its scrub trips the degradation
+// policy and the service goes terminally dark.
+
+// ResilienceConfig parameterizes the chaos study.
+type ResilienceConfig struct {
+	// Replicas is the pool size; Waves × RequestsPerWave the request
+	// load (one chaos event lands per wave).
+	Replicas        int
+	Waves           int
+	RequestsPerWave int
+	// Timesteps is the SNN evidence window per request.
+	Timesteps int
+	// ChaosSeed seeds the fault storm.
+	ChaosSeed uint64
+	// StuckFraction is the per-device stuck-onset fraction per event.
+	// Stuck devices only surface as residual faults when their frozen
+	// level deviates from the programmed target (roughly a third of
+	// them on the study model), so the default (0.06) is sized to push
+	// an unpooled chip past the 2% default degradation policy after a
+	// couple of onsets.
+	StuckFraction float64
+	// DriftSteps is the drift-burst magnitude (default 20000).
+	DriftSteps int64
+	// NTrain / NTest size the synthetic dataset.
+	NTrain, NTest int
+	// Deadline, when positive, bounds each pool request — the storm's
+	// deadline-pressure component. Keep it generous: it exercises the
+	// cancellation path without making slow CI hosts flaky.
+	Deadline time.Duration
+	// Now, when non-nil, is a monotonic nanosecond clock used for
+	// request latency measurement. It is injected from cmd/ (internal
+	// packages never read the wall clock), and nil disables latency
+	// reporting — latency is the one non-deterministic block of the
+	// result.
+	Now func() int64
+}
+
+// DefaultResilienceConfig returns the published chaos-study shape.
+func DefaultResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Replicas:        3,
+		Waves:           12,
+		RequestsPerWave: 8,
+		Timesteps:       40,
+		ChaosSeed:       Seed,
+		NTrain:          400,
+		NTest:           120,
+	}
+}
+
+// SmokeResilienceConfig returns the chaos-smoke shape: tiny load, short
+// windows — enough to exercise routing, scrub, retirement, recompile
+// and bitwise-retry under -race in seconds.
+func SmokeResilienceConfig() ResilienceConfig {
+	return ResilienceConfig{
+		Replicas:        2,
+		Waves:           3,
+		RequestsPerWave: 3,
+		Timesteps:       10,
+		ChaosSeed:       Seed,
+		NTrain:          150,
+		NTest:           60,
+	}
+}
+
+// PoolOutcome is the pooled service's side of the study.
+type PoolOutcome struct {
+	// Served / Failed partition the requests; Availability their ratio.
+	Served       int     `json:"served"`
+	Failed       int     `json:"failed"`
+	Availability float64 `json:"availability"`
+	// Correct counts label hits among served requests; Accuracy the
+	// ratio over everything offered (failures score as misses).
+	Correct  int     `json:"correct"`
+	Accuracy float64 `json:"accuracy"`
+	// BitwiseMatches / Mismatched compare served outputs against the
+	// undisturbed baseline; the determinism contract demands
+	// Mismatched == 0.
+	BitwiseMatches int `json:"bitwise_matches"`
+	Mismatched     int `json:"mismatched"`
+	// Fleet is the pool's lifecycle counter snapshot.
+	Fleet obs.FleetStats `json:"fleet"`
+	// LatencyMeanNS / LatencyMaxNS are wall-clock per-request figures,
+	// present only when a clock was injected; they are the one
+	// environment-dependent block of the record.
+	LatencyMeanNS int64 `json:"latency_mean_ns,omitempty"`
+	LatencyMaxNS  int64 `json:"latency_max_ns,omitempty"`
+}
+
+// VictimOutcome is the unpooled single session's side of the study. The
+// victim faces only the storm's physical events (drift bursts and stuck
+// onsets — every one of them, since one chip absorbs the whole
+// environment) and scrubs between waves; replica kills and run faults
+// model infrastructure the single-session deployment does not have, so
+// skipping them only flatters the victim.
+type VictimOutcome struct {
+	Served       int     `json:"served"`
+	Failed       int     `json:"failed"`
+	Availability float64 `json:"availability"`
+	Correct      int     `json:"correct"`
+	Accuracy     float64 `json:"accuracy"`
+	// Mismatched counts served outputs that drifted from the baseline
+	// bits — silent degradation before the terminal error.
+	Mismatched int `json:"mismatched"`
+	// TerminalWave is the wave whose scrub went terminal (-1 when the
+	// victim survived); TerminalError the degradation message.
+	TerminalWave  int    `json:"terminal_wave"`
+	TerminalError string `json:"terminal_error,omitempty"`
+}
+
+// ResilienceResult is the chaos study record.
+type ResilienceResult struct {
+	Model           string        `json:"model"`
+	Replicas        int           `json:"replicas"`
+	Waves           int           `json:"waves"`
+	RequestsPerWave int           `json:"requests_per_wave"`
+	Timesteps       int           `json:"timesteps"`
+	ChaosSeed       uint64        `json:"chaos_seed"`
+	Events          []fleet.Event `json:"events"`
+	// BaselineAccuracy is the undisturbed single-session accuracy over
+	// the same request sequence — the bar both services are held to.
+	BaselineAccuracy float64       `json:"baseline_accuracy"`
+	Pool             PoolOutcome   `json:"pool"`
+	Victim           VictimOutcome `json:"victim"`
+}
+
+// resilienceChipSeed seeds every chip of the study — baseline, pool
+// replicas and victim — so all of them program identical arrays.
+const resilienceChipSeed = Seed + 11
+
+// resilienceRel builds a fresh per-chip reliability config: full
+// protection, no compile-time fault injection (the storm is the only
+// fault source), default degradation policy.
+func resilienceRel() *reliability.Config {
+	return &reliability.Config{
+		Protection: reliability.ProtectSpareRemap,
+		Policy:     reliability.DefaultPolicy(),
+	}
+}
+
+// ResilienceStudy runs the chaos study. Everything except the optional
+// latency block is deterministic for a fixed config.
+func ResilienceStudy(ctx context.Context, cfg ResilienceConfig) (ResilienceResult, error) {
+	if cfg.StuckFraction <= 0 {
+		cfg.StuckFraction = 0.06
+	}
+	if cfg.DriftSteps <= 0 {
+		cfg.DriftSteps = 20000
+	}
+	tm := trainScaled(benchmarkSpec{"mlp3/mnist-like", models.NewMLP3, dataset.MNISTLike, 8, 0}, cfg.NTrain, cfg.NTest)
+	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
+	if err != nil {
+		return ResilienceResult{}, fmt.Errorf("resilience: %w", err)
+	}
+
+	compile := func(ctx context.Context) (*arch.Session, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chip := arch.NewChip(device.DefaultParams(), crossbar.Config{}, rng.New(resilienceChipSeed))
+		chip.Rel = resilienceRel()
+		return chip.Compile(conv,
+			arch.WithMode(arch.ModeSNN),
+			arch.WithTimesteps(cfg.Timesteps),
+			arch.WithSeed(Seed))
+	}
+
+	// The request sequence: the test set replayed in order, long enough
+	// for the whole study.
+	total := cfg.Waves * cfg.RequestsPerWave
+	inputs := make([]*tensor.Tensor, total)
+	labels := make([]int, total)
+	for i := 0; i < total; i++ {
+		inputs[i], labels[i] = tm.testDS.Sample(i % cfg.NTest)
+	}
+
+	res := ResilienceResult{
+		Model:           tm.name,
+		Replicas:        cfg.Replicas,
+		Waves:           cfg.Waves,
+		RequestsPerWave: cfg.RequestsPerWave,
+		Timesteps:       cfg.Timesteps,
+		ChaosSeed:       cfg.ChaosSeed,
+		Events: fleet.Storm(cfg.ChaosSeed, fleet.StormConfig{
+			Waves:         cfg.Waves,
+			Replicas:      cfg.Replicas,
+			DriftSteps:    cfg.DriftSteps,
+			StuckFraction: cfg.StuckFraction,
+		}),
+	}
+
+	// Golden baseline: one undisturbed session over the whole sequence.
+	golden := make([]*arch.RunResult, total)
+	base, err := compile(ctx)
+	if err != nil {
+		return ResilienceResult{}, fmt.Errorf("resilience: baseline: %w", err)
+	}
+	baseCorrect := 0
+	for i, in := range inputs {
+		run, err := base.Run(ctx, in)
+		if err != nil {
+			return ResilienceResult{}, fmt.Errorf("resilience: baseline request %d: %w", i, err)
+		}
+		golden[i] = run
+		if run.Prediction == labels[i] {
+			baseCorrect++
+		}
+	}
+	res.BaselineAccuracy = float64(baseCorrect) / float64(total)
+
+	// The pooled service under the storm.
+	rec := &obs.FleetRecorder{}
+	pool, err := fleet.NewPool(ctx, fleet.Config{
+		Replicas: cfg.Replicas,
+		Factory:  compile,
+		Seed:     Seed,
+		Rec:      rec,
+	})
+	if err != nil {
+		return ResilienceResult{}, fmt.Errorf("resilience: pool: %w", err)
+	}
+	var latSum, latMax int64
+	for w := 0; w < cfg.Waves; w++ {
+		pool.Apply(res.Events[w])
+		if err := pool.Maintain(ctx); err != nil {
+			return ResilienceResult{}, fmt.Errorf("resilience: maintain wave %d: %w", w, err)
+		}
+		for r := 0; r < cfg.RequestsPerWave; r++ {
+			i := w*cfg.RequestsPerWave + r
+			rctx, cancel := ctx, context.CancelFunc(nil)
+			if cfg.Deadline > 0 {
+				rctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+			}
+			var t0 int64
+			if cfg.Now != nil {
+				t0 = cfg.Now()
+			}
+			run, err := pool.Run(rctx, inputs[i])
+			if cfg.Now != nil {
+				d := cfg.Now() - t0
+				latSum += d
+				if d > latMax {
+					latMax = d
+				}
+			}
+			if cancel != nil {
+				cancel()
+			}
+			if err != nil {
+				if ctx.Err() != nil {
+					return ResilienceResult{}, ctx.Err()
+				}
+				res.Pool.Failed++
+				continue
+			}
+			res.Pool.Served++
+			if run.Prediction == labels[i] {
+				res.Pool.Correct++
+			}
+			if sameBits(run.Output, golden[i].Output) {
+				res.Pool.BitwiseMatches++
+			} else {
+				res.Pool.Mismatched++
+			}
+		}
+	}
+	res.Pool.Availability = float64(res.Pool.Served) / float64(total)
+	res.Pool.Accuracy = float64(res.Pool.Correct) / float64(total)
+	res.Pool.Fleet = rec.Stats()
+	if cfg.Now != nil && total > 0 {
+		res.Pool.LatencyMeanNS = latSum / int64(total)
+		res.Pool.LatencyMaxNS = latMax
+	}
+
+	// The unpooled victim under the same physical storm.
+	victim, err := compile(ctx)
+	if err != nil {
+		return ResilienceResult{}, fmt.Errorf("resilience: victim: %w", err)
+	}
+	res.Victim.TerminalWave = -1
+	for w := 0; w < cfg.Waves; w++ {
+		if victim != nil {
+			switch e := res.Events[w]; e.Kind {
+			case fleet.EventDriftBurst:
+				victim.AgeRetention(e.Steps)
+			case fleet.EventStuckOnset:
+				victim.InjectStuckFaults(e.Seed, e.Fraction, crossbar.StuckAP)
+			}
+			if !victim.Pristine() {
+				if _, err := victim.Scrub(ctx); err != nil {
+					var de *reliability.DegradedError
+					if !errors.As(err, &de) {
+						return ResilienceResult{}, fmt.Errorf("resilience: victim scrub wave %d: %w", w, err)
+					}
+					res.Victim.TerminalWave = w
+					res.Victim.TerminalError = de.Error()
+					victim = nil
+				}
+			}
+		}
+		for r := 0; r < cfg.RequestsPerWave; r++ {
+			i := w*cfg.RequestsPerWave + r
+			if victim == nil {
+				res.Victim.Failed++
+				continue
+			}
+			run, err := victim.Run(ctx, inputs[i])
+			if err != nil {
+				if ctx.Err() != nil {
+					return ResilienceResult{}, ctx.Err()
+				}
+				res.Victim.Failed++
+				continue
+			}
+			res.Victim.Served++
+			if run.Prediction == labels[i] {
+				res.Victim.Correct++
+			}
+			if !sameBits(run.Output, golden[i].Output) {
+				res.Victim.Mismatched++
+			}
+		}
+	}
+	res.Victim.Availability = float64(res.Victim.Served) / float64(total)
+	res.Victim.Accuracy = float64(res.Victim.Correct) / float64(total)
+	return res, nil
+}
+
+// sameBits reports whether two output tensors are bitwise identical —
+// Float64bits equality per element, immune to the float ==/!= pitfalls
+// around NaN and signed zero.
+func sameBits(a, b *tensor.Tensor) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ad, bd := a.Data(), b.Data()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if math.Float64bits(ad[i]) != math.Float64bits(bd[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the chaos study summary.
+func (r ResilienceResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Resilience chaos study (%s, %d replicas, %d waves × %d requests, storm seed %d)\n",
+		r.Model, r.Replicas, r.Waves, r.RequestsPerWave, r.ChaosSeed)
+	kinds := map[fleet.EventKind]int{}
+	for _, e := range r.Events {
+		kinds[e.Kind]++
+	}
+	fmt.Fprintf(w, "  storm: %d drift bursts, %d stuck onsets, %d kills, %d run faults, %d quiet\n",
+		kinds[fleet.EventDriftBurst], kinds[fleet.EventStuckOnset],
+		kinds[fleet.EventKill], kinds[fleet.EventRunFault], kinds[fleet.EventNone])
+	fmt.Fprintf(w, "  baseline accuracy (undisturbed): %.4f\n", r.BaselineAccuracy)
+	fmt.Fprintf(w, "  pooled:   availability %.4f  accuracy %.4f  bitwise %d/%d  retries %d  failovers %d  retirements %d  recompiles %d  scrubs %d\n",
+		r.Pool.Availability, r.Pool.Accuracy, r.Pool.BitwiseMatches, r.Pool.Served,
+		r.Pool.Fleet.Retries, r.Pool.Fleet.Failovers, r.Pool.Fleet.Retirements,
+		r.Pool.Fleet.Recompiles, r.Pool.Fleet.ScrubCycles)
+	term := "survived"
+	if r.Victim.TerminalWave >= 0 {
+		term = fmt.Sprintf("terminal DegradedError at wave %d", r.Victim.TerminalWave)
+	}
+	fmt.Fprintf(w, "  unpooled: availability %.4f  accuracy %.4f  silent mismatches %d  %s\n",
+		r.Victim.Availability, r.Victim.Accuracy, r.Victim.Mismatched, term)
+	if r.Pool.LatencyMeanNS > 0 {
+		fmt.Fprintf(w, "  pool latency: mean %.2f ms  max %.2f ms\n",
+			float64(r.Pool.LatencyMeanNS)/1e6, float64(r.Pool.LatencyMaxNS)/1e6)
+	}
+}

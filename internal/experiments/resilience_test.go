@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// TestResilienceSmoke is the chaos-smoke gate `make chaos-smoke` runs
+// under -race: the seeded storm at smoke scale must leave the pool at
+// full availability with every served output bitwise identical to the
+// undisturbed baseline, while the unpooled victim silently diverges.
+// It deliberately does NOT skip under the race detector — exercising
+// the pool's locking under fire is the point — so the model it trains
+// is the small smoke shape.
+func TestResilienceSmoke(t *testing.T) {
+	cfg := SmokeResilienceConfig()
+	res, err := ResilienceStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cfg.Waves * cfg.RequestsPerWave
+	if len(res.Events) != cfg.Waves {
+		t.Fatalf("storm has %d events, want %d", len(res.Events), cfg.Waves)
+	}
+	if res.Pool.Served != total || res.Pool.Failed != 0 {
+		t.Fatalf("pool availability broke under the smoke storm: %+v", res.Pool)
+	}
+	if res.Pool.Availability < 0.99 {
+		t.Fatalf("pool availability %.4f below the 99%% bar", res.Pool.Availability)
+	}
+	if res.Pool.Mismatched != 0 || res.Pool.BitwiseMatches != res.Pool.Served {
+		t.Fatalf("pool results not bitwise identical to baseline: %+v", res.Pool)
+	}
+	if res.Pool.Accuracy != res.BaselineAccuracy {
+		t.Fatalf("pool accuracy %.4f != baseline %.4f despite bitwise identity",
+			res.Pool.Accuracy, res.BaselineAccuracy)
+	}
+	// The storm must have actually exercised the maintenance machinery.
+	if res.Pool.Fleet.Retirements == 0 || res.Pool.Fleet.ScrubCycles == 0 {
+		t.Fatalf("smoke storm exercised no maintenance: %+v", res.Pool.Fleet)
+	}
+	// The unpooled victim absorbs the same physical storm on one chip:
+	// it keeps serving (smoke is below its terminal dose) but its
+	// outputs silently drift off the baseline bits.
+	if res.Victim.Mismatched == 0 {
+		t.Fatalf("victim never diverged — the storm is not load-bearing: %+v", res.Victim)
+	}
+
+	var b bytes.Buffer
+	res.Render(&b)
+	for _, want := range []string{"Resilience chaos study", "pooled:", "unpooled:", "storm:"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestResilienceStormDeterministic pins the study's storm schedule: the
+// record's event list is a pure function of the chaos seed.
+func TestResilienceStormDeterministic(t *testing.T) {
+	cfg := SmokeResilienceConfig()
+	a := fleet.Storm(cfg.ChaosSeed, fleet.StormConfig{Waves: cfg.Waves, Replicas: cfg.Replicas})
+	b := fleet.Storm(cfg.ChaosSeed, fleet.StormConfig{Waves: cfg.Waves, Replicas: cfg.Replicas})
+	if len(a) != len(b) {
+		t.Fatalf("storm lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("storm event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// This file is the deterministic chaos harness: a seeded generator of
+// fault storms — drift bursts, stuck-device onset, replica kills,
+// mid-flight run faults — that the resilience experiment replays
+// against a pool between request waves. Everything is derived from one
+// seed through internal/rng, so a storm is a pure value: the same seed
+// always produces the same events in the same order, which is what lets
+// the chaos gate assert bitwise-identical pool outputs under fire.
+
+// EventKind enumerates the chaos fault classes.
+type EventKind int
+
+const (
+	// EventNone is a quiet wave — no fault lands.
+	EventNone EventKind = iota
+	// EventDriftBurst ages a replica's retention clock by Steps.
+	EventDriftBurst
+	// EventStuckOnset strikes a replica with permanently stuck devices
+	// at per-device fraction Fraction, seeded by Seed.
+	EventStuckOnset
+	// EventKill crashes a replica outright.
+	EventKill
+	// EventRunFault arms a replica to fail its next Count attempts —
+	// a detected in-flight fault that exercises the retry path.
+	EventRunFault
+)
+
+// MarshalJSON renders the kind by name, keeping the chaos record
+// legible and stable if the enum is ever reordered.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventNone:
+		return "none"
+	case EventDriftBurst:
+		return "drift-burst"
+	case EventStuckOnset:
+		return "stuck-onset"
+	case EventKill:
+		return "kill"
+	case EventRunFault:
+		return "run-fault"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one chaos fault aimed at one replica.
+type Event struct {
+	// Kind selects the fault class; Replica the target pool slot.
+	Kind    EventKind `json:"kind"`
+	Replica int       `json:"replica"`
+	// Steps is the drift-burst magnitude (EventDriftBurst).
+	Steps int64 `json:"steps,omitempty"`
+	// Fraction and Seed parameterize stuck onset (EventStuckOnset).
+	Fraction float64 `json:"fraction,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	// Count is the number of armed run faults (EventRunFault).
+	Count int `json:"count,omitempty"`
+}
+
+// StormConfig shapes a generated fault storm.
+type StormConfig struct {
+	// Waves is the number of storm slots (one event drawn per wave).
+	Waves int
+	// Replicas is the pool size events target.
+	Replicas int
+	// QuietFrac is the probability a wave draws no event (default 0.25
+	// when the whole distribution is unset).
+	QuietFrac float64
+	// DriftSteps is the drift-burst magnitude (default 10000).
+	DriftSteps int64
+	// StuckFraction is the stuck-onset per-device fraction (default
+	// 0.002).
+	StuckFraction float64
+	// RunFaults is the number of attempts an armed replica fails
+	// (default 2).
+	RunFaults int
+}
+
+// Storm generates the deterministic fault schedule for a seed. The
+// event kinds form a balanced deck — quiet waves at QuietFrac, the
+// remainder split evenly across drift bursts, stuck onsets, kills and
+// run faults — shuffled by the seeded generator, so every fault class
+// is guaranteed to appear (given enough waves) while ordering and
+// targeting stay storm-random. Identical (seed, cfg) give identical
+// storms on every platform.
+func Storm(seed uint64, cfg StormConfig) []Event {
+	if cfg.QuietFrac <= 0 {
+		cfg.QuietFrac = 0.25
+	}
+	if cfg.DriftSteps <= 0 {
+		cfg.DriftSteps = 10000
+	}
+	if cfg.StuckFraction <= 0 {
+		cfg.StuckFraction = 0.002
+	}
+	if cfg.RunFaults <= 0 {
+		cfg.RunFaults = 2
+	}
+	quiet := int(cfg.QuietFrac * float64(cfg.Waves))
+	kinds := make([]EventKind, 0, cfg.Waves)
+	for i := 0; i < quiet; i++ {
+		kinds = append(kinds, EventNone)
+	}
+	faultKinds := []EventKind{EventDriftBurst, EventStuckOnset, EventKill, EventRunFault}
+	for i := 0; len(kinds) < cfg.Waves; i++ {
+		kinds = append(kinds, faultKinds[i%len(faultKinds)])
+	}
+	r := rng.New(seed)
+	events := make([]Event, cfg.Waves)
+	for w, di := range r.Perm(cfg.Waves) {
+		e := Event{Kind: kinds[di], Replica: r.Intn(cfg.Replicas)}
+		switch e.Kind {
+		case EventDriftBurst:
+			e.Steps = cfg.DriftSteps
+		case EventStuckOnset:
+			e.Fraction = cfg.StuckFraction
+			e.Seed = r.Uint64()
+		case EventRunFault:
+			e.Count = cfg.RunFaults
+		}
+		events[w] = e
+	}
+	return events
+}
+
+// Apply lands one chaos event on the pool. Events targeting a dead
+// replica degrade gracefully (ageing or striking nothing), exactly as a
+// physical fault hitting a powered-off chip would.
+func (p *Pool) Apply(e Event) {
+	switch e.Kind {
+	case EventDriftBurst:
+		p.AgeReplica(e.Replica, e.Steps)
+	case EventStuckOnset:
+		p.InjectStuck(e.Replica, e.Seed, e.Fraction)
+	case EventKill:
+		p.Kill(e.Replica)
+	case EventRunFault:
+		p.InjectRunFaults(e.Replica, e.Count)
+	}
+}

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestStormDeterministicAndBalanced(t *testing.T) {
+	cfg := StormConfig{Waves: 12, Replicas: 3}
+	a := Storm(7, cfg)
+	b := Storm(7, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different storms:\n%v\n%v", a, b)
+	}
+	if c := Storm(8, cfg); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical storms")
+	}
+	if len(a) != cfg.Waves {
+		t.Fatalf("storm has %d events, want %d", len(a), cfg.Waves)
+	}
+	// The deck is balanced: quiet at the default fraction, every fault
+	// class present — no seed can draw a storm that skips a class.
+	kinds := map[EventKind]int{}
+	for _, e := range a {
+		kinds[e.Kind]++
+		if e.Replica < 0 || e.Replica >= cfg.Replicas {
+			t.Fatalf("event targets replica %d outside the pool", e.Replica)
+		}
+		switch e.Kind {
+		case EventDriftBurst:
+			if e.Steps <= 0 {
+				t.Fatalf("drift burst without magnitude: %+v", e)
+			}
+		case EventStuckOnset:
+			if e.Fraction <= 0 {
+				t.Fatalf("stuck onset without fraction: %+v", e)
+			}
+		case EventRunFault:
+			if e.Count <= 0 {
+				t.Fatalf("run fault without count: %+v", e)
+			}
+		}
+	}
+	// 12 waves at quiet fraction 0.25: 3 quiet, 9 faults cycling the 4
+	// classes → 3 drift bursts, 2 each of the rest.
+	want := map[EventKind]int{
+		EventNone: 3, EventDriftBurst: 3, EventStuckOnset: 2,
+		EventKill: 2, EventRunFault: 2,
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("storm composition %v, want %v", kinds, want)
+	}
+}
+
+func TestEventKindJSONByName(t *testing.T) {
+	raw, err := json.Marshal(Event{Kind: EventStuckOnset, Replica: 1, Fraction: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"stuck-onset"`) {
+		t.Fatalf("event kind not serialized by name: %s", raw)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync/atomic"
+)
+
+// This file is the pool-level observability surface. A session pool
+// (internal/fleet) tracks its own lifecycle events — requests served,
+// retries, failovers, replica retirements, recompiles, scrub cycles —
+// which live above the per-stage counters a Recorder holds, so they get
+// their own small recorder. FleetRecorder is wait-free for writers
+// (plain atomic adds from the serving path) and snapshots into a plain
+// struct for export.
+
+// FleetRecorder accumulates pool lifecycle counters. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type FleetRecorder struct {
+	replicas    atomic.Int64
+	healthy     atomic.Int64
+	served      atomic.Int64
+	failed      atomic.Int64
+	retries     atomic.Int64
+	failovers   atomic.Int64
+	retirements atomic.Int64
+	recompiles  atomic.Int64
+	scrubCycles atomic.Int64
+}
+
+// SetReplicas records the configured pool size (gauge).
+func (f *FleetRecorder) SetReplicas(n int) { f.replicas.Store(int64(n)) }
+
+// SetHealthy records the number of replicas currently fit to serve
+// (gauge; updated by the router and the maintenance scheduler).
+func (f *FleetRecorder) SetHealthy(n int) { f.healthy.Store(int64(n)) }
+
+// AddServed counts requests that returned a result to the caller.
+func (f *FleetRecorder) AddServed(n int) { f.served.Add(int64(n)) }
+
+// AddFailed counts requests that exhausted their retry budget or
+// deadline without a result.
+func (f *FleetRecorder) AddFailed(n int) { f.failed.Add(int64(n)) }
+
+// AddRetry counts re-executions of a request after a failed attempt.
+func (f *FleetRecorder) AddRetry() { f.retries.Add(1) }
+
+// AddFailover counts retries that moved to a different replica.
+func (f *FleetRecorder) AddFailover() { f.failovers.Add(1) }
+
+// AddRetirement counts replicas pulled from service by the health
+// policy.
+func (f *FleetRecorder) AddRetirement() { f.retirements.Add(1) }
+
+// AddRecompile counts replica rebuilds that returned to service.
+func (f *FleetRecorder) AddRecompile() { f.recompiles.Add(1) }
+
+// AddScrub counts completed online scrub passes.
+func (f *FleetRecorder) AddScrub() { f.scrubCycles.Add(1) }
+
+// FleetStats is a point-in-time copy of the pool counters. It contains
+// no maps or pointers, so equal stats marshal to identical bytes.
+type FleetStats struct {
+	// Replicas is the configured pool size; Healthy how many are
+	// currently fit to serve.
+	Replicas int64 `json:"replicas"`
+	Healthy  int64 `json:"healthy"`
+	// Served / Failed partition finished requests.
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
+	// Retries counts re-executed attempts; Failovers the subset that
+	// moved to a different replica.
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	// Retirements / Recompiles / ScrubCycles are maintenance events.
+	Retirements int64 `json:"retirements"`
+	Recompiles  int64 `json:"recompiles"`
+	ScrubCycles int64 `json:"scrub_cycles"`
+}
+
+// Stats snapshots the counters. Concurrent writers may land between
+// field loads; callers wanting exact totals quiesce the pool first.
+func (f *FleetRecorder) Stats() FleetStats {
+	return FleetStats{
+		Replicas:    f.replicas.Load(),
+		Healthy:     f.healthy.Load(),
+		Served:      f.served.Load(),
+		Failed:      f.failed.Load(),
+		Retries:     f.retries.Load(),
+		Failovers:   f.failovers.Load(),
+		Retirements: f.retirements.Load(),
+		Recompiles:  f.recompiles.Load(),
+		ScrubCycles: f.scrubCycles.Load(),
+	}
+}
+
+// fleetSeries defines the Prometheus series of one FleetStats, in fixed
+// emission order.
+var fleetSeries = []struct {
+	name, typ, help string
+	get             func(FleetStats) float64
+}{
+	{"nebula_fleet_replicas", "gauge", "Configured session-pool size.",
+		func(s FleetStats) float64 { return float64(s.Replicas) }},
+	{"nebula_fleet_healthy_replicas", "gauge", "Replicas currently fit to serve.",
+		func(s FleetStats) float64 { return float64(s.Healthy) }},
+	{"nebula_fleet_requests_served_total", "counter", "Requests that returned a result.",
+		func(s FleetStats) float64 { return float64(s.Served) }},
+	{"nebula_fleet_requests_failed_total", "counter", "Requests that exhausted retries or deadline.",
+		func(s FleetStats) float64 { return float64(s.Failed) }},
+	{"nebula_fleet_retries_total", "counter", "Re-executed attempts after a failure.",
+		func(s FleetStats) float64 { return float64(s.Retries) }},
+	{"nebula_fleet_failovers_total", "counter", "Retries served by a different replica.",
+		func(s FleetStats) float64 { return float64(s.Failovers) }},
+	{"nebula_fleet_retirements_total", "counter", "Replicas pulled from service by the health policy.",
+		func(s FleetStats) float64 { return float64(s.Retirements) }},
+	{"nebula_fleet_recompiles_total", "counter", "Replica rebuilds returned to service.",
+		func(s FleetStats) float64 { return float64(s.Recompiles) }},
+	{"nebula_fleet_scrub_cycles_total", "counter", "Completed online scrub passes.",
+		func(s FleetStats) float64 { return float64(s.ScrubCycles) }},
+}
+
+// WritePrometheus writes the stats in the Prometheus text exposition
+// format with fixed series order, matching Snapshot.WritePrometheus.
+func (s FleetStats) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, m := range fleetSeries {
+		b.WriteString("# HELP " + m.name + " " + m.help + "\n")
+		b.WriteString("# TYPE " + m.name + " " + m.typ + "\n")
+		b.WriteString(m.name + " " + formatValue(m.get(s)) + "\n")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFleetRecorderStats(t *testing.T) {
+	var rec FleetRecorder
+	if rec.Stats() != (FleetStats{}) {
+		t.Fatalf("zero recorder has state: %+v", rec.Stats())
+	}
+	rec.SetReplicas(3)
+	rec.SetHealthy(2)
+	rec.AddServed(5)
+	rec.AddFailed(1)
+	rec.AddRetry()
+	rec.AddRetry()
+	rec.AddFailover()
+	rec.AddRetirement()
+	rec.AddRecompile()
+	rec.AddScrub()
+	want := FleetStats{
+		Replicas: 3, Healthy: 2, Served: 5, Failed: 1,
+		Retries: 2, Failovers: 1, Retirements: 1, Recompiles: 1, ScrubCycles: 1,
+	}
+	if got := rec.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	// Gauges overwrite, counters accumulate.
+	rec.SetHealthy(3)
+	rec.AddServed(2)
+	if got := rec.Stats(); got.Healthy != 3 || got.Served != 7 {
+		t.Fatalf("gauge/counter semantics wrong: %+v", got)
+	}
+}
+
+func TestFleetStatsWritePrometheus(t *testing.T) {
+	s := FleetStats{
+		Replicas: 3, Healthy: 2, Served: 5, Failed: 1,
+		Retries: 2, Failovers: 1, Retirements: 1, Recompiles: 4, ScrubCycles: 9,
+	}
+	var b bytes.Buffer
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# TYPE nebula_fleet_replicas gauge",
+		"nebula_fleet_replicas 3",
+		"# TYPE nebula_fleet_healthy_replicas gauge",
+		"nebula_fleet_healthy_replicas 2",
+		"nebula_fleet_requests_served_total 5",
+		"nebula_fleet_requests_failed_total 1",
+		"nebula_fleet_retries_total 2",
+		"nebula_fleet_failovers_total 1",
+		"nebula_fleet_retirements_total 1",
+		"nebula_fleet_recompiles_total 4",
+		"nebula_fleet_scrub_cycles_total 9",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+	// Emission order is fixed: the pool-size gauge leads, scrub cycles
+	// close — CI diffs the exposition byte for byte.
+	if !strings.HasPrefix(out, "# HELP nebula_fleet_replicas ") {
+		t.Fatalf("exposition does not lead with the replicas gauge:\n%s", out)
+	}
+	if idx := strings.Index(out, "nebula_fleet_scrub_cycles_total 9\n"); idx == -1 || idx+len("nebula_fleet_scrub_cycles_total 9\n") != len(out) {
+		t.Fatalf("exposition does not end with scrub cycles:\n%s", out)
+	}
+}

@@ -244,12 +244,25 @@ func (r Report) Delta(prev Report) Report {
 	}
 }
 
-// UnmitigatedFrac returns the fraction of scanned pairs left faulty.
+// UnmitigatedFrac returns the fraction of scanned pairs left faulty. A
+// report with nothing scanned is defined as fully mitigated (0, never
+// NaN), so an empty scan reads as healthy rather than poisoning every
+// downstream threshold comparison.
 func (r Report) UnmitigatedFrac() float64 {
 	if r.PairsScanned == 0 {
 		return 0
 	}
 	return float64(r.Unmitigated) / float64(r.PairsScanned)
+}
+
+// Healthy reports whether the scanned hardware is fit to serve: nothing
+// tripped the degradation policy and the residual fault fraction is
+// within maxUnmitigatedFrac. Routers steering work across session
+// replicas call this with their own (typically stricter) threshold — a
+// fleet that can retire and recompile replicas has no reason to keep
+// serving through residual faults a lone chip would have to tolerate.
+func (r Report) Healthy(maxUnmitigatedFrac float64) bool {
+	return !r.Degraded && r.UnmitigatedFrac() <= maxUnmitigatedFrac
 }
 
 // Render writes the health report as the nebula-sim -health block.

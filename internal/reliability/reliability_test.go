@@ -188,3 +188,30 @@ func TestStudyConfigLayout(t *testing.T) {
 		t.Fatal("drift alone is not an injected fault population")
 	}
 }
+
+func TestReportHealthyAndZeroScan(t *testing.T) {
+	// The zero-scan report is healthy, not NaN: a chip that scanned
+	// nothing has no evidence of degradation.
+	var empty Report
+	if f := empty.UnmitigatedFrac(); f != 0 {
+		t.Fatalf("zero-scan unmitigated fraction %v, want 0", f)
+	}
+	if !empty.Healthy(0) {
+		t.Fatal("zero-scan report must be healthy")
+	}
+	clean := Report{PairsScanned: 1000}
+	if !clean.Healthy(0) {
+		t.Fatal("clean scan must pass the strictest threshold")
+	}
+	residual := Report{PairsScanned: 1000, Unmitigated: 15}
+	if residual.Healthy(0.01) {
+		t.Fatal("1.5% residual must fail a 1% threshold")
+	}
+	if !residual.Healthy(0.02) {
+		t.Fatal("1.5% residual must pass a 2% threshold")
+	}
+	tripped := Report{PairsScanned: 1000, Degraded: true}
+	if tripped.Healthy(1) {
+		t.Fatal("a tripped degradation policy overrides any threshold")
+	}
+}

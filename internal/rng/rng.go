@@ -79,6 +79,16 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// Clone returns an independent copy of the generator frozen at its
+// current state: the clone and the receiver emit identical streams from
+// here on, and drawing from one never advances the other. This is what
+// lets a failed run be replayed bit for bit — reserve a stream, hand a
+// clone to the attempt, and hand a fresh clone to the retry.
+func (r *Rand) Clone() *Rand {
+	c := *r
+	return &c
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
