@@ -6,7 +6,7 @@ GO ?= go
 # to make a build pass.
 COVER_FLOOR ?= 76.0
 
-.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke chaos-smoke cover obs-check kernel-check verify
+.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke chaos-smoke cover obs-check kernel-check image-check verify
 
 build:
 	$(GO) build ./...
@@ -82,4 +82,14 @@ kernel-check:
 	$(GO) test -race -count=1 ./internal/arch -run 'TestSessionFrozenKernel|TestCompileBakesKernels|TestWearSessionSkipsBake'
 	@echo "frozen kernels bitwise identical to the dense reference"
 
-verify: build fmt-check lint flow-lint test race smoke bench-smoke chaos-smoke cover obs-check kernel-check
+# Chip-image determinism gate (DESIGN.md §13): two compiles of the same
+# model and options must emit byte-identical images, a session loaded
+# from an image must re-save to the exact same bytes, and loaded
+# sessions must reproduce compiled outputs and obs snapshots bit for
+# bit, under the race detector.
+image-check:
+	$(GO) test -race -count=1 ./internal/arch -run 'TestImageByteIdenticalAcrossCompiles|TestImageStableAcrossLoad|TestImageRoundTripBitwise'
+	$(GO) test -race -count=1 ./internal/image
+	@echo "chip images byte-deterministic; loaded sessions bitwise identical"
+
+verify: build fmt-check lint flow-lint test race smoke bench-smoke chaos-smoke cover obs-check kernel-check image-check

@@ -10,7 +10,8 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, session, kernel, obs, resilience, all.
+// sensitivity, profile, faults, session, kernel, obs, resilience,
+// compile, all.
 //
 // The resilience experiment replays a seeded chaos storm (drift bursts,
 // stuck-device onset, replica kills, run faults, deadline pressure)
@@ -30,7 +31,11 @@
 // and records the counter snapshots plus their energy attribution
 // (-obsout, default BENCH_obs.json); the record carries no timings, so
 // it is bitwise identical at any -parallel — the CI determinism gate
-// diffs it across parallelism levels.
+// diffs it across parallelism levels. The compile experiment times a
+// full compile (programming, fault injection, BIST) against rehydrating
+// the same session from its versioned chip image, verifies the loaded
+// session is bitwise identical, and records the speedup and image size
+// (-compileout, default BENCH_compile.json).
 //
 // -cpuprofile / -memprofile write pprof profiles of whatever experiment
 // selection ran (see EXPERIMENTS.md for the analysis workflow).
@@ -68,6 +73,7 @@ func run() int {
 	obsOut := flag.String("obsout", "BENCH_obs.json", "output path for the observability counter record")
 	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output path for the frozen-kernel speedup record")
 	resOut := flag.String("resout", "BENCH_resilience.json", "output path for the resilience chaos-study record")
+	compileOut := flag.String("compileout", "BENCH_compile.json", "output path for the compile-vs-image-load record")
 	resSmoke := flag.Bool("res-smoke", false, "run the resilience experiment at chaos-smoke scale")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
@@ -263,6 +269,9 @@ func run() int {
 		"resilience": func() error {
 			return runResilienceBench(*resSmoke, *resOut)
 		},
+		"compile": func() error {
+			return runCompileBench(16, 40, *compileOut)
+		},
 		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
@@ -277,7 +286,7 @@ func run() int {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
-		"kernel", "obs", "resilience",
+		"kernel", "obs", "resilience", "compile",
 	}
 
 	names := strings.Split(*exp, ",")

@@ -50,6 +50,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "stream a batch through an observed session and print the counter snapshot as Prometheus text")
 	batch := flag.Int("batch", 32, "images per batch for -throughput / -metrics")
 	parallel := flag.Int("parallel", 0, "worker count for -throughput / -metrics (0 = NumCPU)")
+	imageCache := flag.String("image-cache", "", "chip-image cache directory for -throughput / -metrics compiles: a warm rerun rehydrates the chip from the cached image instead of re-programming (empty = compile fresh)")
 	flag.Parse()
 
 	ws := workloads()
@@ -73,7 +74,7 @@ func main() {
 	sim := core.New()
 
 	if *throughput {
-		if err := runThroughput(sim, *batch, *timesteps, *parallel); err != nil {
+		if err := runThroughput(sim, *batch, *timesteps, *parallel, *imageCache); err != nil {
 			fmt.Fprintf(os.Stderr, "nebula-sim: throughput: %v\n", err)
 			os.Exit(1)
 		}
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *metrics {
-		if err := runMetrics(sim, *batch, *timesteps, *parallel); err != nil {
+		if err := runMetrics(sim, *batch, *timesteps, *parallel, *imageCache); err != nil {
 			fmt.Fprintf(os.Stderr, "nebula-sim: metrics: %v\n", err)
 			os.Exit(1)
 		}

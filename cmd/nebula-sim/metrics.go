@@ -20,8 +20,10 @@ import (
 // nothing else is printed, so the output pipes straight into a scrape
 // file or a diff. The workload is the untrained MLP3 probe (the counters
 // measure the simulator, not accuracy), and because shard merging is
-// input-ordered the exposition is bitwise identical at any -parallel.
-func runMetrics(sim *core.Simulator, batch, T, parallel int) error {
+// input-ordered the exposition is bitwise identical at any -parallel. A
+// non-empty cacheDir routes the compile through the chip-image cache and
+// appends the nebula_image_cache_* series to the exposition.
+func runMetrics(sim *core.Simulator, batch, T, parallel int, cacheDir string) error {
 	if parallel <= 0 {
 		parallel = runtime.NumCPU()
 	}
@@ -43,19 +45,31 @@ func runMetrics(sim *core.Simulator, batch, T, parallel int) error {
 	}
 
 	rec := obs.NewRecorder()
-	chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
-	sess, err := chip.Compile(conv,
+	cacheRec := &obs.CacheRecorder{}
+	opts := []arch.Option{
 		arch.WithMode(arch.ModeSNN),
 		arch.WithTimesteps(T),
 		arch.WithSeed(sim.Seed),
 		arch.WithParallelism(parallel),
 		arch.WithInputShape(imgs[0].Shape()...),
-		arch.WithObserver(rec))
+		arch.WithObserver(rec),
+	}
+	if cacheDir != "" {
+		opts = append(opts, arch.WithImageCache(cacheDir), arch.WithImageCacheMetrics(cacheRec))
+	}
+	chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
+	sess, err := chip.Compile(conv, opts...)
 	if err != nil {
 		return err
 	}
 	if _, err := sess.RunBatch(context.Background(), imgs); err != nil {
 		return err
 	}
-	return rec.Snapshot().WritePrometheus(os.Stdout)
+	if err := rec.Snapshot().WritePrometheus(os.Stdout); err != nil {
+		return err
+	}
+	if cacheDir != "" {
+		return cacheRec.Stats().WritePrometheus(os.Stdout)
+	}
+	return nil
 }

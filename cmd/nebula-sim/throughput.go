@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -20,8 +21,11 @@ import (
 // probe measures the simulator, not accuracy) and compiled once per
 // parallelism level, then the same batch streams through both sessions.
 // Identically seeded sessions must agree bit for bit, so the probe also
-// doubles as a determinism check on the installed CPU count.
-func runThroughput(sim *core.Simulator, batch, T, parallel int) error {
+// doubles as a determinism check on the installed CPU count. A non-empty
+// cacheDir routes the compiles through the chip-image cache, so a rerun
+// of the probe rehydrates its chips from disk and reports the hit/miss
+// tally.
+func runThroughput(sim *core.Simulator, batch, T, parallel int, cacheDir string) error {
 	if parallel <= 0 {
 		parallel = runtime.NumCPU()
 	}
@@ -42,14 +46,20 @@ func runThroughput(sim *core.Simulator, batch, T, parallel int) error {
 		imgs[i], _ = te.Sample(i)
 	}
 
+	cacheRec := &obs.CacheRecorder{}
 	run := func(parallelism int) ([]*arch.RunResult, time.Duration, error) {
-		chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
-		sess, err := chip.Compile(conv,
+		opts := []arch.Option{
 			arch.WithMode(arch.ModeSNN),
 			arch.WithTimesteps(T),
 			arch.WithSeed(sim.Seed),
 			arch.WithParallelism(parallelism),
-			arch.WithInputShape(imgs[0].Shape()...))
+			arch.WithInputShape(imgs[0].Shape()...),
+		}
+		if cacheDir != "" {
+			opts = append(opts, arch.WithImageCache(cacheDir), arch.WithImageCacheMetrics(cacheRec))
+		}
+		chip := arch.NewChip(sim.Device, sim.Crossbar, nil)
+		sess, err := chip.Compile(conv, opts...)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -82,5 +92,10 @@ func runThroughput(sim *core.Simulator, batch, T, parallel int) error {
 	fmt.Printf("  batched    (parallelism %2d): %8.2f img/s  (%v)\n",
 		parallel, float64(batch)/parDur.Seconds(), parDur.Round(time.Millisecond))
 	fmt.Printf("  speedup %.2fx, outputs bitwise identical\n", seqDur.Seconds()/parDur.Seconds())
+	if cacheDir != "" {
+		st := cacheRec.Stats()
+		fmt.Printf("  image cache %s: %d hits, %d misses, %d stores\n",
+			cacheDir, st.Hits, st.Misses, st.Stores)
+	}
 	return nil
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -99,6 +100,31 @@ func main() {
 	}
 	fmt.Printf("  Hyb-1 on hardware: %d/%d correct, %d spikes across the batch\n",
 		correct, len(results), spikes)
+
+	// Save the compiled session as a versioned chip image and rehydrate
+	// it — no re-programming, no fault injection — then replay the batch.
+	// A loaded session is interchangeable with the one that was saved:
+	// the replay must agree bit for bit.
+	var img bytes.Buffer
+	if err := sess.SaveImage(&img); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := arch.LoadSession(bytes.NewReader(img.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := loaded.RunBatch(context.Background(), imgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for i := range replay {
+		if replay[i].Prediction != results[i].Prediction || replay[i].Spikes != results[i].Spikes {
+			identical = false
+		}
+	}
+	fmt.Printf("  saved %d-byte chip image; replay on loaded session identical = %v\n",
+		img.Len(), identical)
 
 	// Energy/power study on the full-size workload (Fig. 17).
 	fmt.Println("\nfull-size VGG-13 energy/power (analytic model):")

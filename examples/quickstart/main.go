@@ -11,7 +11,9 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/models"
@@ -41,10 +43,19 @@ func main() {
 	res := pipe.EvaluateSNN(100, 80)
 	fmt.Printf("converted SNN accuracy: %.4f over %d timesteps\n", res.Accuracy, res.Timesteps)
 
-	// 5. Chip-level inference: compile the network onto simulated crossbar
-	//    hardware once (mapping, programming, protection), then stream a
-	//    batch through the session — the program-once / run-many path.
-	results, labels, err := pipe.RunBatchOnChip(context.Background(), 0, 8, 80, 0)
+	// 5. Chip-level inference through the chip-image cache: the first
+	//    compile maps, programs and protects the crossbars, then stores a
+	//    versioned chip image keyed by the content hash of (model, chip
+	//    environment, compile options). The second batch finds that image
+	//    and rehydrates the chip from disk instead of re-programming —
+	//    and reproduces the first batch's outputs bit for bit.
+	cacheDir, err := os.MkdirTemp("", "nebula-image-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	results, labels, err := pipe.RunBatchOnChip(context.Background(), 0, 8, 80, 0,
+		arch.WithImageCache(cacheDir))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,6 +68,19 @@ func main() {
 	hw := results[0]
 	fmt.Printf("chip-level inference: %d/%d correct; first image predicted %d (true %d), %d spikes, %d pipeline cycles\n",
 		correct, len(results), hw.Prediction, labels[0], hw.Spikes, hw.Cycles)
+
+	warm, _, err := pipe.RunBatchOnChip(context.Background(), 0, 8, 80, 0,
+		arch.WithImageCache(cacheDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	identical := true
+	for i := range warm {
+		if warm[i].Prediction != results[i].Prediction || warm[i].Spikes != results[i].Spikes {
+			identical = false
+		}
+	}
+	fmt.Printf("warm rerun from cached chip image: outputs identical = %v\n", identical)
 
 	// 6. Energy estimate for the full-size counterpart workload.
 	w := models.FullMLP3()

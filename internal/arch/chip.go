@@ -45,6 +45,17 @@ type Chip struct {
 
 	noise  *rng.Rand
 	health reliability.Report
+	// restore marks a chip being rehydrated from a chip image: the build
+	// path lays out geometry only (no programming writes, no fault
+	// injection, no BIST) and the loader imports the recorded device
+	// state afterwards.
+	restore bool
+	// noiseFP, when set, pins the noise-stream fingerprint recorded in
+	// images: a rehydrated chip carries a sentinel stream whose state is
+	// not the saved one, so re-saving must emit the original fingerprint
+	// for the save→load→save fixed point (and the cache key) to hold.
+	noiseFP    uint64
+	noiseFPSet bool
 }
 
 // NewChip builds a chip with the given device and crossbar configuration.
@@ -130,7 +141,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 			// Positions allocated lazily at run time (depends on input size).
 			s := &stageHW{kind: "conv", name: v.Name(), snnCore: core, kh: kh, kw: kw,
 				stride: v.Stride, pad: v.Pad, inC: inC, outC: outC, groups: v.Groups}
-			s.kmProgram = func(positions int) error { return core.Program(km, ch.WMax, positions) }
+			s.kmProgram = func(positions int) error { return ch.programSNN(core, km, positions) }
 			s.bias = v.B
 			stages = append(stages, s)
 		case *snn.Dense:
@@ -141,7 +152,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 				// routing unit (§IV-B3's Rf > 16M path).
 				sp := NewRUSpillCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 				sp.ADCBits = 8
-				if err := sp.Program(km, ch.WMax, 1); err != nil {
+				if err := ch.programSpill(sp, km, 1); err != nil {
 					return nil, err
 				}
 				for _, st := range sp.blocks {
@@ -155,7 +166,7 @@ func (ch *Chip) buildSNN(c *convert.Converted) ([]*stageHW, error) {
 				continue
 			}
 			core := NewSNNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
-			if err := core.Program(km, ch.WMax, 1); err != nil {
+			if err := ch.programSNN(core, km, 1); err != nil {
 				return nil, err
 			}
 			if err := ch.prepare(core.ST); err != nil {
@@ -212,13 +223,44 @@ func (ch *Chip) coreCfg() crossbar.Config {
 // prepare post-processes a freshly programmed super-tile: under the
 // reliability subsystem it injects the fault profile and runs the
 // protection pipeline (possibly refusing with a DegradedError);
-// otherwise it applies the legacy uniform fault rate.
+// otherwise it applies the legacy uniform fault rate. A restoring chip
+// skips both — the imported state already carries the injected faults
+// and every repair the original compile performed.
 func (ch *Chip) prepare(st *SuperTile) error {
+	if ch.restore {
+		return nil
+	}
 	if ch.Rel != nil {
 		return ch.protect(st)
 	}
 	ch.injectFaults(st)
 	return nil
+}
+
+// programSNN routes a spiking core's kernel programming through the
+// restore switch: a restoring chip configures geometry and neuron banks
+// only, leaving the device state to the image loader.
+func (ch *Chip) programSNN(core *SNNCore, km *tensor.Tensor, positions int) error {
+	if ch.restore {
+		return core.configure(km, ch.WMax, positions)
+	}
+	return core.Program(km, ch.WMax, positions)
+}
+
+// programANN is programSNN for continuous cores.
+func (ch *Chip) programANN(core *ANNCore, km *tensor.Tensor) error {
+	if ch.restore {
+		return core.configure(km, ch.WMax)
+	}
+	return core.Program(km, ch.WMax)
+}
+
+// programSpill is programSNN for spill cores.
+func (ch *Chip) programSpill(sp *RUSpillCore, km *tensor.Tensor, positions int) error {
+	if ch.restore {
+		return sp.configure(km, ch.WMax, positions)
+	}
+	return sp.Program(km, ch.WMax, positions)
 }
 
 // RunSNN executes T Poisson-encoded timesteps of one image through the

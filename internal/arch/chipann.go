@@ -50,7 +50,7 @@ func (ch *Chip) buildANNStages(c *convert.Converted, from int) ([]*annStageHW, e
 			}
 			core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
 			km := v.W.Reshape(outC, rf).Transpose()
-			if err := core.Program(km, ch.WMax); err != nil {
+			if err := ch.programANN(core, km); err != nil {
 				return nil, err
 			}
 			if err := ch.prepare(core.ST); err != nil {
@@ -65,7 +65,7 @@ func (ch *Chip) buildANNStages(c *convert.Converted, from int) ([]*annStageHW, e
 				return nil, fmt.Errorf("arch: stage %s does not fit one core", v.Name())
 			}
 			core := NewANNCore(ch.P, ch.coreCfg(), 1.0, ch.split())
-			if err := core.Program(km, ch.WMax); err != nil {
+			if err := ch.programANN(core, km); err != nil {
 				return nil, err
 			}
 			if err := ch.prepare(core.ST); err != nil {

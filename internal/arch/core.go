@@ -42,6 +42,12 @@ func (c *ANNCore) Program(w *tensor.Tensor, wmax float64) error {
 	return c.ST.Program(w, wmax)
 }
 
+// configure is the restore-path half of Program: switch geometry
+// without device writes; the image loader imports the recorded state.
+func (c *ANNCore) configure(km *tensor.Tensor, wmax float64) error {
+	return c.ST.Configure(km.Dim(0), km.Dim(1), wmax)
+}
+
 // Execute runs a batch of input vectors (the im2col columns of one image)
 // through the core, applying the saturating rectification of the
 // non-spiking MTJ neuron (Fig. 2(b)). Inputs must be in [0, 1] activation
@@ -106,6 +112,25 @@ func (c *SNNCore) Program(w *tensor.Tensor, wmax float64, positions int) error {
 		return err
 	}
 	c.kernels = w.Dim(1)
+	c.neurons = make([]*device.SpikingNeuron, c.kernels*positions)
+	for i := range c.neurons {
+		c.neurons[i] = device.NewSpikingNeuron(c.ST.P)
+	}
+	return nil
+}
+
+// configure is the restore-path half of Program: switch geometry and
+// the position-replica neuron bank are laid out exactly as Program
+// would, but no device is written — the image loader imports the
+// recorded conductance state immediately afterwards.
+func (c *SNNCore) configure(km *tensor.Tensor, wmax float64, positions int) error {
+	if positions < 1 {
+		return fmt.Errorf("arch: positions must be ≥ 1")
+	}
+	if err := c.ST.Configure(km.Dim(0), km.Dim(1), wmax); err != nil {
+		return err
+	}
+	c.kernels = km.Dim(1)
 	c.neurons = make([]*device.SpikingNeuron, c.kernels*positions)
 	for i := range c.neurons {
 		c.neurons[i] = device.NewSpikingNeuron(c.ST.P)

@@ -114,7 +114,7 @@ func (s *Session) newRunState() *runState {
 		}
 		st.stages[i] = sr
 	}
-	if s.cfg.mode == ModeHybrid {
+	if s.cfg.Mode == ModeHybrid {
 		st.au = NewAccumulatorUnit(s.lambda)
 	}
 	return st
@@ -624,7 +624,7 @@ func (s *Session) execANN(ctx context.Context, img *tensor.Tensor, env *execEnv)
 // killable mid-window.
 func (s *Session) execSNN(ctx context.Context, img *tensor.Tensor, env *execEnv, enc snn.Encoder, st *runState) (*RunResult, error) {
 	res := &RunResult{}
-	for t := 0; t < s.cfg.timesteps; t++ {
+	for t := 0; t < s.cfg.Timesteps; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -652,7 +652,7 @@ func (s *Session) execSNN(ctx context.Context, img *tensor.Tensor, env *execEnv,
 // AU, and finishes with the compiled ANN tail.
 func (s *Session) execHybrid(ctx context.Context, img *tensor.Tensor, env *execEnv, enc snn.Encoder, st *runState) (*RunResult, error) {
 	res := &RunResult{}
-	for t := 0; t < s.cfg.timesteps; t++ {
+	for t := 0; t < s.cfg.Timesteps; t++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -708,7 +708,7 @@ func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStream
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	env := &execEnv{ch: s.chip, wear: s.cfg.wear, hops: s.engineHops}
+	env := &execEnv{ch: s.chip, wear: s.cfg.Wear, hops: s.engineHops}
 	if s.rec != nil {
 		env.shard = obs.NewRunRecord(s.obsLayout, s.traceOn)
 	}
@@ -724,7 +724,7 @@ func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStream
 		env.cross = &crossbar.Stats{}
 	}
 	var enc snn.Encoder
-	if s.cfg.mode != ModeANN {
+	if s.cfg.Mode != ModeANN {
 		enc = s.cfg.sharedEnc
 		if enc == nil {
 			enc = s.cfg.encFactory(rs.enc)
@@ -735,7 +735,7 @@ func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStream
 	defer s.arena.Put(st)
 	var res *RunResult
 	var err error
-	switch s.cfg.mode {
+	switch s.cfg.Mode {
 	case ModeANN:
 		res, err = s.execANN(ctx, input, env)
 	case ModeSNN:

@@ -29,8 +29,8 @@ func (s *Session) attachObserver(rec *obs.Recorder, healthBefore reliability.Rep
 // spiking stage, then one per continuous stage. Weighted stages carry a
 // neural-core ordinal and their super-tile count.
 func (s *Session) buildObsLayout() {
-	l := &obs.Layout{Model: s.model.SNN.Name(), Mode: s.cfg.mode.String()}
-	if s.cfg.mode != ModeANN {
+	l := &obs.Layout{Model: s.model.SNN.Name(), Mode: s.cfg.Mode.String()}
+	if s.cfg.Mode != ModeANN {
 		l.Stages = append(l.Stages, obs.StageInfo{Name: "input", Kind: "encode", Domain: "input", Core: -1})
 	}
 	core := 0

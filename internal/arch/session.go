@@ -1,13 +1,18 @@
 package arch
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/convert"
+	"repro/internal/image"
 	"repro/internal/noc"
 	"repro/internal/obs"
+	"repro/internal/reliability"
 	"repro/internal/rng"
 	"repro/internal/snn"
 	"repro/internal/tensor"
@@ -78,48 +83,152 @@ func (e *CompileError) Unwrap() error { return e.Err }
 // it once per input, possibly from concurrent workers.
 type EncoderFactory func(r *rng.Rand) snn.Encoder
 
-// sessionConfig collects the functional-option state of one Compile call.
+// CompileConfig is the serializable half of a Compile call's
+// configuration: every option that shapes the compiled chip state or the
+// run semantics and can round-trip through a chip image. The
+// process-local options — encoder factories, shared encoders, observers,
+// image caches — stay functional-only and never enter an image.
+//
+// Construct one with zero values plus field assignment, or recover one
+// from a compiled session with Session.Config; WithConfig turns it back
+// into an option and Options reconstructs the full option list.
+type CompileConfig struct {
+	// Mode is the operating modality.
+	Mode Mode
+	// Timesteps is the spiking evidence window. Required (≥ 1) for
+	// ModeSNN and ModeHybrid; ignored by ModeANN.
+	Timesteps int
+	// HybridSplit is how many trailing weighted layers (including the
+	// read-out) run in the ANN domain. Required for ModeHybrid.
+	HybridSplit int
+	// Parallelism bounds the number of RunBatch worker goroutines
+	// (≤ 0: runtime.NumCPU()). Results are bitwise independent of it.
+	Parallelism int
+	// Seed seeds the session's RNG tree; SeedSet records whether it was
+	// given explicitly. Compile resolves an unset seed to the fixed
+	// default, so after compilation Seed is always the effective seed.
+	Seed    uint64
+	SeedSet bool
+	// InputShape is the declared input tensor shape (c, h, w), when
+	// given. Spiking convolution stages require it.
+	InputShape []int
+	// Wear enables per-evaluation wear modelling (serializes runs).
+	Wear bool
+	// NoFrozenKernel disables baking the frozen-conductance read
+	// kernels at compile time.
+	NoFrozenKernel bool
+}
+
+// Options reconstructs a functional-option list that reproduces this
+// configuration, so a stored CompileConfig can drive a fresh Compile.
+func (c CompileConfig) Options() []Option {
+	opts := []Option{
+		WithMode(c.Mode),
+		WithTimesteps(c.Timesteps),
+		WithHybridSplit(c.HybridSplit),
+		WithParallelism(c.Parallelism),
+		WithWear(c.Wear),
+		WithFrozenKernel(!c.NoFrozenKernel),
+	}
+	if len(c.InputShape) > 0 {
+		opts = append(opts, WithInputShape(c.InputShape...))
+	}
+	if c.SeedSet {
+		opts = append(opts, WithSeed(c.Seed))
+	}
+	return opts
+}
+
+// Hash returns a stable content hash of the configuration: the SHA-256
+// hex digest of a fixed-order little-endian encoding of every field.
+// Two configurations hash equal exactly when they compile identically
+// over the same model and chip.
+func (c CompileConfig) Hash() string {
+	h := sha256.New()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, _ = h.Write(b[:]) // sha256 writes never fail
+	}
+	putBool := func(v bool) {
+		if v {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	put(uint64(int64(c.Mode)))
+	put(uint64(int64(c.Timesteps)))
+	put(uint64(int64(c.HybridSplit)))
+	put(uint64(int64(c.Parallelism)))
+	put(c.Seed)
+	putBool(c.SeedSet)
+	put(uint64(len(c.InputShape)))
+	for _, d := range c.InputShape {
+		put(uint64(int64(d)))
+	}
+	putBool(c.Wear)
+	putBool(c.NoFrozenKernel)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sessionConfig collects the full option state of one Compile call: the
+// serializable CompileConfig plus the process-local halves that cannot
+// round-trip through an image.
 type sessionConfig struct {
-	mode        Mode
-	timesteps   int
-	hybridSplit int
-	parallelism int
-	seed        uint64
-	seedSet     bool
-	encFactory  EncoderFactory
-	sharedEnc   snn.Encoder
-	inShape     []int
-	wear        bool
-	noKernel    bool
-	rec         *obs.Recorder
+	CompileConfig
+	encFactory EncoderFactory
+	// encCustom records a caller-supplied factory; such sessions are
+	// not imageable (a closure cannot be serialized), so the compile
+	// cache bypasses them.
+	encCustom bool
+	sharedEnc snn.Encoder
+	rec       *obs.Recorder
+	// cacheDir routes Compile through a content-addressed image cache
+	// when non-empty; cacheMetrics, when non-nil, observes that cache.
+	cacheDir     string
+	cacheMetrics image.Metrics
 }
 
 // Option configures Compile.
 type Option func(*sessionConfig)
 
+// WithConfig applies every serializable option at once — the inverse of
+// Session.Config. Options applied after it still override individual
+// fields.
+func WithConfig(c CompileConfig) Option {
+	return func(sc *sessionConfig) {
+		c.InputShape = append([]int(nil), c.InputShape...)
+		sc.CompileConfig = c
+	}
+}
+
 // WithMode selects the operating modality (default ModeANN).
-func WithMode(m Mode) Option { return func(c *sessionConfig) { c.mode = m } }
+func WithMode(m Mode) Option { return func(c *sessionConfig) { c.Mode = m } }
 
 // WithTimesteps sets the spiking evidence window. Required (≥ 1) for
 // ModeSNN and ModeHybrid; ignored by ModeANN.
-func WithTimesteps(t int) Option { return func(c *sessionConfig) { c.timesteps = t } }
+func WithTimesteps(t int) Option { return func(c *sessionConfig) { c.Timesteps = t } }
 
 // WithHybridSplit sets how many trailing weighted layers (including the
 // read-out) run in the ANN domain, mirroring hybrid.Split. Required for
 // ModeHybrid.
 func WithHybridSplit(nonSpiking int) Option {
-	return func(c *sessionConfig) { c.hybridSplit = nonSpiking }
+	return func(c *sessionConfig) { c.HybridSplit = nonSpiking }
 }
 
 // WithParallelism bounds the number of worker goroutines RunBatch uses
 // (n ≤ 0 or omitted: runtime.NumCPU()). Results are bitwise independent
 // of the setting; it only trades wall-clock for cores.
-func WithParallelism(n int) Option { return func(c *sessionConfig) { c.parallelism = n } }
+func WithParallelism(n int) Option { return func(c *sessionConfig) { c.Parallelism = n } }
 
 // WithEncoder installs a factory building each run's input encoder from
 // that run's private RNG stream (default: a PoissonEncoder at the model's
-// conversion gain). Spiking modes only.
-func WithEncoder(f EncoderFactory) Option { return func(c *sessionConfig) { c.encFactory = f } }
+// conversion gain). Spiking modes only. Sessions with a custom factory
+// cannot be imaged: the closure has no serializable form.
+func WithEncoder(f EncoderFactory) Option {
+	return func(c *sessionConfig) { c.encFactory = f; c.encCustom = true }
+}
 
 // WithSharedEncoder installs one caller-owned encoder used by every run.
 // A shared encoder serializes the session (parallelism 1): its internal
@@ -130,14 +239,28 @@ func WithSharedEncoder(e snn.Encoder) Option { return func(c *sessionConfig) { c
 // convolution stages need it at compile time to size their
 // position-replica neuron banks; dense-only models may omit it.
 func WithInputShape(dims ...int) Option {
-	return func(c *sessionConfig) { c.inShape = append([]int(nil), dims...) }
+	return func(c *sessionConfig) { c.InputShape = append([]int(nil), dims...) }
 }
 
 // WithSeed seeds the session's RNG tree, from which every run reserves
 // its private encoder and read-noise streams. Two sessions compiled with
 // the same seed over the same chip produce identical run streams.
 func WithSeed(seed uint64) Option {
-	return func(c *sessionConfig) { c.seed = seed; c.seedSet = true }
+	return func(c *sessionConfig) { c.Seed = seed; c.SeedSet = true }
+}
+
+// WithImageCache routes Compile through the content-addressed chip-image
+// cache rooted at dir: a hit rehydrates the session from the stored
+// image (skipping programming, fault injection and BIST), a miss
+// compiles normally and installs the image for the next compile. See
+// CompileCached for the cache-object form and the bypass rules.
+func WithImageCache(dir string) Option { return func(c *sessionConfig) { c.cacheDir = dir } }
+
+// WithImageCacheMetrics attaches a hit/miss/store/quarantine sink (e.g.
+// an *obs.CacheRecorder) to the cache WithImageCache creates. Ignored
+// without WithImageCache.
+func WithImageCacheMetrics(m image.Metrics) Option {
+	return func(c *sessionConfig) { c.cacheMetrics = m }
 }
 
 // WithObserver attaches a metrics recorder: each run's activity is
@@ -156,14 +279,14 @@ func WithObserver(rec *obs.Recorder) Option { return func(c *sessionConfig) { c.
 // policy runs) per timestep, and spikes traverse the shared mesh. Wear
 // mutates the programmed arrays, so wear sessions always execute
 // sequentially regardless of WithParallelism.
-func WithWear(on bool) Option { return func(c *sessionConfig) { c.wear = on } }
+func WithWear(on bool) Option { return func(c *sessionConfig) { c.Wear = on } }
 
 // WithFrozenKernel(false) disables baking the frozen-conductance read
 // kernels at compile time, forcing every MACRead through the reference
 // dense path. The kernels are bitwise identical to the reference, so
 // this only trades speed for nothing — it exists for differential
 // testing and benchmarking of the fast path. Default: enabled.
-func WithFrozenKernel(on bool) Option { return func(c *sessionConfig) { c.noKernel = !on } }
+func WithFrozenKernel(on bool) Option { return func(c *sessionConfig) { c.NoFrozenKernel = !on } }
 
 // defaultSessionSeed seeds sessions that set no WithSeed; a fixed
 // constant keeps the default fully reproducible run to run.
@@ -219,20 +342,36 @@ type Session struct {
 // All errors are returned as *CompileError wrapping the cause (including
 // *reliability.DegradedError when protection is exhausted).
 func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, error) {
-	cfg := sessionConfig{parallelism: 0}
+	cfg := sessionConfig{}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	fail := func(err error) (*Session, error) {
-		return nil, &CompileError{Mode: cfg.mode, Model: model.SNN.Name(), Err: err}
+	if cfg.cacheDir != "" {
+		cache, err := image.NewCache(cfg.cacheDir)
+		if err != nil {
+			return nil, &CompileError{Mode: cfg.Mode, Model: model.SNN.Name(), Err: err}
+		}
+		if cfg.cacheMetrics != nil {
+			cache.SetMetrics(cfg.cacheMetrics)
+		}
+		return ch.compileCached(model, cache, cfg)
 	}
-	switch cfg.mode {
+	return ch.compile(model, cfg)
+}
+
+// compile is the uncached compilation path shared by Compile, the image
+// cache and the image loader.
+func (ch *Chip) compile(model *convert.Converted, cfg sessionConfig) (*Session, error) {
+	fail := func(err error) (*Session, error) {
+		return nil, &CompileError{Mode: cfg.Mode, Model: model.SNN.Name(), Err: err}
+	}
+	switch cfg.Mode {
 	case ModeANN, ModeSNN, ModeHybrid:
 	default:
-		return fail(fmt.Errorf("unknown mode %d", int(cfg.mode)))
+		return fail(fmt.Errorf("unknown mode %d", int(cfg.Mode)))
 	}
-	if cfg.mode != ModeANN && cfg.timesteps < 1 {
-		return fail(fmt.Errorf("%s mode needs WithTimesteps ≥ 1, got %d", cfg.mode, cfg.timesteps))
+	if cfg.Mode != ModeANN && cfg.Timesteps < 1 {
+		return fail(fmt.Errorf("%s mode needs WithTimesteps ≥ 1, got %d", cfg.Mode, cfg.Timesteps))
 	}
 	if cfg.encFactory == nil {
 		gain := model.Cfg.Gain
@@ -248,17 +387,17 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 
 	s := &Session{chip: ch, cfg: cfg, model: model}
 	var err error
-	switch cfg.mode {
+	switch cfg.Mode {
 	case ModeANN:
 		s.annStages, err = ch.buildANNStages(model, 0)
 	case ModeSNN:
 		s.snnStages, err = ch.buildSNN(model)
 		if err == nil {
-			err = ch.programPositions(s.snnStages, cfg.inShape)
+			err = ch.programPositions(s.snnStages, cfg.InputShape)
 		}
 	case ModeHybrid:
 		var splitStage int
-		splitStage, s.lambda, err = hybridCut(model, cfg.hybridSplit)
+		splitStage, s.lambda, err = hybridCut(model, cfg.HybridSplit)
 		if err == nil {
 			// Build the full spiking pipeline and truncate at the cut,
 			// mirroring the legacy entry point so core and stream
@@ -267,7 +406,7 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		}
 		if err == nil {
 			s.snnStages = s.snnStages[:model.Stages[splitStage].SNNLayer]
-			err = ch.programPositions(s.snnStages, cfg.inShape)
+			err = ch.programPositions(s.snnStages, cfg.InputShape)
 		}
 		if err == nil {
 			s.annStages, err = ch.buildANNStages(model, splitStage)
@@ -284,31 +423,46 @@ func (ch *Chip) Compile(model *convert.Converted, opts ...Option) (*Session, err
 		return fail(err)
 	}
 
+	if ch.restore {
+		// A restore build is a geometry-only skeleton: the loader imports
+		// the programmed state next and then finishes the session itself.
+		return s, nil
+	}
+	if err := s.finish(healthBefore); err != nil {
+		return fail(err)
+	}
+	return s, nil
+}
+
+// finish seals a built session: the read kernels are baked, the RNG
+// tree seeded, the scratch arena and mesh accounting wired, the
+// observer attached and the known-good generation baseline stamped. The
+// stage hardware must hold its final programmed (or imported) state.
+func (s *Session) finish(healthBefore reliability.Report) error {
 	// Freeze the programmed conductance planes into read kernels. Wear
 	// sessions skip the bake: their reads mutate the arrays, so kernels
 	// would go stale after the first evaluation anyway.
-	if !cfg.noKernel && !cfg.wear {
+	if !s.cfg.NoFrozenKernel && !s.cfg.Wear {
 		s.bakeKernels()
 	}
 
-	seed := defaultSessionSeed
-	if cfg.seedSet {
-		seed = cfg.seed
+	if !s.cfg.SeedSet {
+		s.cfg.Seed = defaultSessionSeed
 	}
-	s.streams = rng.New(seed)
+	s.streams = rng.New(s.cfg.Seed)
 	s.arena.New = func() interface{} { return s.newRunState() }
 	// Every inter-stage packet crosses the fixed engine placement — the
 	// same adjacent pair the wear path drives through Mesh.Send.
-	s.engineHops = int64(ch.Mesh.Hops(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}))
-	if cfg.rec != nil {
-		if err := s.attachObserver(cfg.rec, healthBefore); err != nil {
-			return fail(err)
+	s.engineHops = int64(s.chip.Mesh.Hops(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}))
+	if s.cfg.rec != nil {
+		if err := s.attachObserver(s.cfg.rec, healthBefore); err != nil {
+			return err
 		}
 	}
 	// The arrays are final; record the known-good generation baseline
 	// that Pristine checks against.
 	s.stampGenerations()
-	return s, nil
+	return nil
 }
 
 // bakeKernels freezes every programmed super-tile's conductance planes
@@ -334,22 +488,63 @@ func (s *Session) bakeKernels() {
 }
 
 // Mode returns the session's operating mode.
-func (s *Session) Mode() Mode { return s.cfg.mode }
+func (s *Session) Mode() Mode { return s.cfg.Mode }
 
 // Timesteps returns the spiking evidence window (0 for ModeANN).
 func (s *Session) Timesteps() int {
-	if s.cfg.mode == ModeANN {
+	if s.cfg.Mode == ModeANN {
 		return 0
 	}
-	return s.cfg.timesteps
+	return s.cfg.Timesteps
+}
+
+// Seed returns the effective session RNG seed: the explicit WithSeed
+// value, or the fixed default when none was given.
+func (s *Session) Seed() uint64 { return s.cfg.Seed }
+
+// HybridSplit returns the configured number of trailing weighted layers
+// running in the ANN domain (0 outside ModeHybrid).
+func (s *Session) HybridSplit() int {
+	if s.cfg.Mode != ModeHybrid {
+		return 0
+	}
+	return s.cfg.HybridSplit
+}
+
+// ParallelismLimit returns the configured worker bound as given
+// (≤ 0: resolve at run time to the core count); see Parallelism for the
+// effective per-batch value.
+func (s *Session) ParallelismLimit() int { return s.cfg.Parallelism }
+
+// EncoderKind names the session's input-encoder arrangement: "poisson"
+// for the default per-run factory, "custom" for a WithEncoder factory,
+// "shared" for a WithSharedEncoder instance.
+func (s *Session) EncoderKind() string {
+	switch {
+	case s.cfg.sharedEnc != nil:
+		return "shared"
+	case s.cfg.encCustom:
+		return "custom"
+	}
+	return "poisson"
+}
+
+// Config returns the session's serializable compile configuration —
+// everything needed to rebuild an equivalent session over the same
+// model and chip (feed it to WithConfig). The returned value shares no
+// memory with the session.
+func (s *Session) Config() CompileConfig {
+	c := s.cfg.CompileConfig
+	c.InputShape = append([]int(nil), c.InputShape...)
+	return c
 }
 
 // Parallelism returns the worker bound RunBatch will use for n inputs.
 func (s *Session) Parallelism(n int) int {
-	if s.cfg.wear || s.cfg.sharedEnc != nil {
+	if s.cfg.Wear || s.cfg.sharedEnc != nil {
 		return 1
 	}
-	p := s.cfg.parallelism
+	p := s.cfg.Parallelism
 	if p <= 0 {
 		p = runtime.NumCPU()
 	}

@@ -91,6 +91,42 @@ func (c *RUSpillCore) Program(km *tensor.Tensor, wmax float64, positions int) er
 	return nil
 }
 
+// configure is the restore-path half of Program: the identical row
+// partition and per-block switch geometry, with no device writes — the
+// image loader imports each block's recorded state afterwards.
+func (c *RUSpillCore) configure(km *tensor.Tensor, wmax float64, positions int) error {
+	if positions < 1 {
+		return fmt.Errorf("arch: positions must be ≥ 1")
+	}
+	rf, k := km.Dim(0), km.Dim(1)
+	sets := (k + mapping.M - 1) / mapping.M
+	if sets > mapping.ACsPerNC {
+		return fmt.Errorf("arch: %d kernels exceed one core's column capacity; column spill is not supported by the chip runner", k)
+	}
+	maxStack := mapping.ACsPerNC / sets
+	blockRows := maxStack * mapping.M
+	if blockRows > mapping.MaxRowsPerNC {
+		blockRows = mapping.MaxRowsPerNC
+	}
+	c.blocks = nil
+	c.rowBounds = []int{0}
+	for lo := 0; lo < rf; lo += blockRows {
+		hi := lo + blockRows
+		if hi > rf {
+			hi = rf
+		}
+		st := NewSuperTile(c.P, c.Cfg, c.splitNoise())
+		if err := st.Configure(hi-lo, k, wmax); err != nil {
+			return err
+		}
+		c.blocks = append(c.blocks, st)
+		c.rowBounds = append(c.rowBounds, hi)
+	}
+	c.kernels = k
+	c.membranes = make([]float64, k*positions)
+	return nil
+}
+
 func (c *RUSpillCore) splitNoise() *rng.Rand {
 	if c.noise == nil {
 		return nil

@@ -101,6 +101,50 @@ func (st *SuperTile) Program(w *tensor.Tensor, wmax float64) error {
 	return nil
 }
 
+// Configure sets the morphable-switch geometry for an Rf×K kernel
+// matrix without programming a single device — the skeleton half of
+// Program, used by the image loader, which imports the recorded
+// per-array state immediately afterwards. Slot routing starts at
+// identity; importSlots replaces it when the image recorded
+// retirements.
+func (st *SuperTile) Configure(rf, k int, wmax float64) error {
+	if rf > mapping.MaxRowsPerNC {
+		return fmt.Errorf("arch: Rf %d exceeds super-tile capacity %d", rf, mapping.MaxRowsPerNC)
+	}
+	stack := (rf + mapping.M - 1) / mapping.M
+	sets := (k + mapping.M - 1) / mapping.M
+	if stack*sets > mapping.ACsPerNC {
+		return fmt.Errorf("arch: layer needs %d ACs, super-tile has %d", stack*sets, mapping.ACsPerNC)
+	}
+	st.stack, st.sets, st.rows, st.cols, st.wmax = stack, sets, rf, k, wmax
+	st.slotAC = make([]int, stack*sets)
+	for i := range st.slotAC {
+		st.slotAC[i] = i
+	}
+	st.retired = make([]bool, len(st.acs))
+	return nil
+}
+
+// importSlots restores the slot→array routing and retirement flags
+// recorded in a chip image. The tile must be Configured to the same
+// geometry first.
+func (st *SuperTile) importSlots(slotAC []int, retired []bool) error {
+	if len(slotAC) != st.stack*st.sets {
+		return fmt.Errorf("arch: slot routing has %d entries, tile has %d slots", len(slotAC), st.stack*st.sets)
+	}
+	if len(retired) != len(st.acs) {
+		return fmt.Errorf("arch: retirement map has %d entries, tile has %d arrays", len(retired), len(st.acs))
+	}
+	for _, phys := range slotAC {
+		if phys < 0 || phys >= len(st.acs) {
+			return fmt.Errorf("arch: slot routed to array %d of %d", phys, len(st.acs))
+		}
+	}
+	copy(st.slotAC, slotAC)
+	copy(st.retired, retired)
+	return nil
+}
+
 // ac returns the atomic crossbar at (set, height) in the logical stack,
 // through the retirement indirection.
 func (st *SuperTile) ac(set, height int) *crossbar.Crossbar {

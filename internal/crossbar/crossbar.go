@@ -95,8 +95,8 @@ type Crossbar struct {
 	// physRow*physCols+physCol. targetPlus/targetMinus hold the levels
 	// the last Program intended — what BIST verifies against and what
 	// write-verify rewrites toward.
-	levelPlus, levelMinus   []int
-	targetPlus, targetMinus []int
+	levelPlus, levelMinus   []int16
+	targetPlus, targetMinus []int16
 
 	// faultPlus/faultMinus record injected device faults (allocated
 	// lazily on first injection); deadRow/deadCol mark failed physical
@@ -137,10 +137,10 @@ func New(rows, cols int, p device.Params, cfg Config, noise *rng.Rand) *Crossbar
 		Rows: rows, Cols: cols, P: p, Cfg: cfg,
 		physRows: physRows, physCols: physCols,
 		rowMap: make([]int, rows), colMap: make([]int, cols),
-		levelPlus:   make([]int, physRows*physCols),
-		levelMinus:  make([]int, physRows*physCols),
-		targetPlus:  make([]int, physRows*physCols),
-		targetMinus: make([]int, physRows*physCols),
+		levelPlus:   make([]int16, physRows*physCols),
+		levelMinus:  make([]int16, physRows*physCols),
+		targetPlus:  make([]int16, physRows*physCols),
+		targetMinus: make([]int16, physRows*physCols),
 		noise:       noise,
 	}
 	for i := range c.rowMap {
@@ -202,13 +202,13 @@ func (c *Crossbar) Program(w *tensor.Tensor, wmax float64) error {
 				tm, am = level, written
 			}
 			pi := pr*c.physCols + c.colMap[col]
-			c.targetPlus[pi], c.targetMinus[pi] = tp, tm
+			c.targetPlus[pi], c.targetMinus[pi] = int16(tp), int16(tm)
 			ap = c.appliedLevel(pi, true, ap)
 			am = c.appliedLevel(pi, false, am)
-			c.stats.ProgramEnergyFJ += math.Abs(float64(ap-c.levelPlus[pi])) * stepEnergy
-			c.stats.ProgramEnergyFJ += math.Abs(float64(am-c.levelMinus[pi])) * stepEnergy
-			c.levelPlus[pi] = ap
-			c.levelMinus[pi] = am
+			c.stats.ProgramEnergyFJ += math.Abs(float64(int16(ap)-c.levelPlus[pi])) * stepEnergy
+			c.stats.ProgramEnergyFJ += math.Abs(float64(int16(am)-c.levelMinus[pi])) * stepEnergy
+			c.levelPlus[pi] = int16(ap)
+			c.levelMinus[pi] = int16(am)
 		}
 	}
 	c.age = 0
@@ -391,12 +391,12 @@ func (c *Crossbar) InjectStuckFaults(r *rng.Rand, fraction float64, mode FaultMo
 	for i := range c.levelPlus {
 		if r.Bernoulli(fraction) {
 			c.faultPlus[i] = faultRec{kind: kind, level: int16(stuck)}
-			c.levelPlus[i] = stuck
+			c.levelPlus[i] = int16(stuck)
 			n++
 		}
 		if r.Bernoulli(fraction) {
 			c.faultMinus[i] = faultRec{kind: kind, level: int16(stuck)}
-			c.levelMinus[i] = stuck
+			c.levelMinus[i] = int16(stuck)
 			n++
 		}
 	}

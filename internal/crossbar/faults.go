@@ -106,10 +106,10 @@ func (c *Crossbar) SetStuck(row, col int, plus bool, mode FaultMode) {
 	pi := row*c.physCols + col
 	if plus {
 		c.faultPlus[pi] = rec
-		c.levelPlus[pi] = int(rec.level)
+		c.levelPlus[pi] = rec.level
 	} else {
 		c.faultMinus[pi] = rec
-		c.levelMinus[pi] = int(rec.level)
+		c.levelMinus[pi] = rec.level
 	}
 }
 
@@ -123,10 +123,10 @@ func (c *Crossbar) SetWeak(row, col int, plus bool, level int) {
 	rec := faultRec{kind: kindWeak, level: int16(clampLevel(level, c.P.States()))}
 	if plus {
 		c.faultPlus[pi] = rec
-		c.levelPlus[pi] = int(rec.level)
+		c.levelPlus[pi] = rec.level
 	} else {
 		c.faultMinus[pi] = rec
-		c.levelMinus[pi] = int(rec.level)
+		c.levelMinus[pi] = rec.level
 	}
 }
 
@@ -254,8 +254,8 @@ func (c *Crossbar) Verify() *FaultMap {
 				continue
 			}
 			pi := pr*c.physCols + c.colMap[col]
-			got := c.levelPlus[pi] - c.levelMinus[pi]
-			want := c.targetPlus[pi] - c.targetMinus[pi]
+			got := int(c.levelPlus[pi]) - int(c.levelMinus[pi])
+			want := int(c.targetPlus[pi]) - int(c.targetMinus[pi])
 			if got != want {
 				m.Pairs = append(m.Pairs, PairFault{Row: r, Col: col, Got: got, Want: want})
 			}
@@ -268,7 +268,7 @@ func (c *Crossbar) Verify() *FaultMap {
 // logical pair (row, col).
 func (c *Crossbar) PairError(row, col int) int {
 	pi := c.rowMap[row]*c.physCols + c.colMap[col]
-	return (c.levelPlus[pi] - c.levelMinus[pi]) - (c.targetPlus[pi] - c.targetMinus[pi])
+	return (int(c.levelPlus[pi]) - int(c.levelMinus[pi])) - (int(c.targetPlus[pi]) - int(c.targetMinus[pi]))
 }
 
 // WritePair re-drives both devices of the logical pair (row, col) toward
@@ -277,8 +277,8 @@ func (c *Crossbar) PairError(row, col int) int {
 // moved.
 func (c *Crossbar) WritePair(row, col int) {
 	pi := c.rowMap[row]*c.physCols + c.colMap[col]
-	c.writeDevice(pi, true, c.targetPlus[pi])
-	c.writeDevice(pi, false, c.targetMinus[pi])
+	c.writeDevice(pi, true, int(c.targetPlus[pi]))
+	c.writeDevice(pi, false, int(c.targetMinus[pi]))
 }
 
 // writeDevice drives one device of the physical pair pi toward `want`,
@@ -289,11 +289,11 @@ func (c *Crossbar) writeDevice(pi int, plus bool, want int) {
 	states := c.P.States()
 	stepEnergy := c.P.WriteEnergyFJ / float64(states-1)
 	if plus {
-		c.stats.ProgramEnergyFJ += math.Abs(float64(applied-c.levelPlus[pi])) * stepEnergy
-		c.levelPlus[pi] = applied
+		c.stats.ProgramEnergyFJ += math.Abs(float64(int16(applied)-c.levelPlus[pi])) * stepEnergy
+		c.levelPlus[pi] = int16(applied)
 	} else {
-		c.stats.ProgramEnergyFJ += math.Abs(float64(applied-c.levelMinus[pi])) * stepEnergy
-		c.levelMinus[pi] = applied
+		c.stats.ProgramEnergyFJ += math.Abs(float64(int16(applied)-c.levelMinus[pi])) * stepEnergy
+		c.levelMinus[pi] = int16(applied)
 	}
 }
 
@@ -310,26 +310,26 @@ func (c *Crossbar) writeDevice(pi int, plus bool, want int) {
 func (c *Crossbar) CompensatePair(row, col int) int {
 	c.ensureFaults()
 	pi := c.rowMap[row]*c.physCols + c.colMap[col]
-	d := c.targetPlus[pi] - c.targetMinus[pi]
+	d := int(c.targetPlus[pi]) - int(c.targetMinus[pi])
 	fp, fm := c.faultPlus[pi], c.faultMinus[pi]
 	states := c.P.States()
 	switch {
 	case fp.kind != kindNone && fm.kind == kindNone:
-		s := c.levelPlus[pi]
+		s := int(c.levelPlus[pi])
 		m := clampLevel(s-d, states)
 		c.writeDevice(pi, false, m)
-		c.targetPlus[pi], c.targetMinus[pi] = s, m
+		c.targetPlus[pi], c.targetMinus[pi] = int16(s), int16(m)
 		return abs((s - m) - d)
 	case fm.kind != kindNone && fp.kind == kindNone:
-		s := c.levelMinus[pi]
+		s := int(c.levelMinus[pi])
 		p := clampLevel(s+d, states)
 		c.writeDevice(pi, true, p)
-		c.targetPlus[pi], c.targetMinus[pi] = p, s
+		c.targetPlus[pi], c.targetMinus[pi] = int16(p), int16(s)
 		return abs((p - s) - d)
 	default:
 		// Both devices faulted (or neither — nothing to do): the pair
 		// reads whatever it reads.
-		return abs((c.levelPlus[pi] - c.levelMinus[pi]) - d)
+		return abs((int(c.levelPlus[pi]) - int(c.levelMinus[pi])) - d)
 	}
 }
 
@@ -350,8 +350,8 @@ func (c *Crossbar) RemapRow(row int) bool {
 		po := old*c.physCols + c.colMap[col]
 		pn := phys*c.physCols + c.colMap[col]
 		c.targetPlus[pn], c.targetMinus[pn] = c.targetPlus[po], c.targetMinus[po]
-		c.writeDevice(pn, true, c.targetPlus[pn])
-		c.writeDevice(pn, false, c.targetMinus[pn])
+		c.writeDevice(pn, true, int(c.targetPlus[pn]))
+		c.writeDevice(pn, false, int(c.targetMinus[pn]))
 	}
 	return true
 }
@@ -371,8 +371,8 @@ func (c *Crossbar) RemapCol(col int) bool {
 		po := c.rowMap[r]*c.physCols + old
 		pn := c.rowMap[r]*c.physCols + phys
 		c.targetPlus[pn], c.targetMinus[pn] = c.targetPlus[po], c.targetMinus[po]
-		c.writeDevice(pn, true, c.targetPlus[pn])
-		c.writeDevice(pn, false, c.targetMinus[pn])
+		c.writeDevice(pn, true, int(c.targetPlus[pn]))
+		c.writeDevice(pn, false, int(c.targetMinus[pn]))
 	}
 	return true
 }

@@ -1,0 +1,30 @@
+package fleet
+
+import (
+	"context"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/image"
+)
+
+// CachedFactory returns a Factory whose compiles go through a
+// content-addressed chip-image cache: the first replica pays the full
+// compile — programming, fault injection, BIST — and installs its image;
+// every later replica, and every background recompile after a
+// retirement or a kill, rehydrates from that image instead. newChip
+// must build a fresh, identically configured chip per call, which is
+// what the Factory contract requires anyway (replicas are
+// interchangeable only when compiled over identically seeded chips) and
+// what keeps the cache key stable — the key digests the chip noise
+// stream's fingerprint, so reusing one chip object would miss on every
+// call. Rehydrated sessions are bitwise interchangeable with compiled
+// ones, so the pool's determinism contract is unchanged.
+func CachedFactory(newChip func() *arch.Chip, model *convert.Converted, cache *image.Cache, opts ...arch.Option) Factory {
+	return func(ctx context.Context) (*arch.Session, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return newChip().CompileCached(model, cache, opts...)
+	}
+}

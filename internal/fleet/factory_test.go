@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/crossbar"
+	"repro/internal/device"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/reliability"
+	"repro/internal/rng"
+)
+
+// cachedTestFactory is testFactory routed through a chip-image cache:
+// same chip seed, same options, so rehydrated replicas must reproduce
+// compiled ones bit for bit.
+func cachedTestFactory(t *testing.T, cache *image.Cache) Factory {
+	t.Helper()
+	c, _ := fleetFixture(t)
+	newChip := func() *arch.Chip {
+		chip := arch.NewChip(device.DefaultParams(), crossbar.Config{ReadNoiseSigma: 0.05}, rng.New(91))
+		chip.Rel = &reliability.Config{
+			Protection: reliability.ProtectSpareRemap,
+			Policy:     reliability.DefaultPolicy(),
+		}
+		return chip
+	}
+	return CachedFactory(newChip, c, cache,
+		arch.WithMode(arch.ModeSNN),
+		arch.WithTimesteps(10),
+		arch.WithSeed(fleetSeed))
+}
+
+// TestCachedFactoryPoolMatchesStandalone builds a pool whose replicas
+// rehydrate from the image cache and checks the determinism contract
+// holds across a kill + recompile cycle: every output is bitwise
+// identical to the standalone compiled session, and the recompile after
+// the kill is served from the cache.
+func TestCachedFactoryPoolMatchesStandalone(t *testing.T) {
+	ctx := context.Background()
+	imgs := fleetImages(t, 6)
+	want := goldenRuns(t, imgs)
+
+	rec := &obs.CacheRecorder{}
+	cache, err := image.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.SetMetrics(rec)
+
+	pool, err := NewPool(ctx, Config{Replicas: 2, Factory: cachedTestFactory(t, cache), Seed: fleetSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rec.Stats()
+	if st.Misses != 1 || st.Stores != 1 || st.Hits != 1 {
+		t.Fatalf("after pool build: stats %+v, want 1 miss, 1 store, 1 hit (second replica rehydrated)", st)
+	}
+
+	for i := 0; i < 3; i++ {
+		got, err := pool.Run(ctx, imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "cached pool", i, want[i], got)
+	}
+
+	// Kill one replica; the maintenance recompile must come out of the
+	// cache, and the rehydrated replica must still match bit for bit.
+	pool.Kill(0)
+	if err := pool.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// First tick decrements backoff; second recompiles.
+	if err := pool.Maintain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Healthy() != 2 {
+		t.Fatalf("after kill + maintain: %d healthy, want 2", pool.Healthy())
+	}
+	st = rec.Stats()
+	if st.Hits != 2 {
+		t.Fatalf("after recompile: %d cache hits, want 2 (recompile rehydrated)", st.Hits)
+	}
+	for i := 3; i < len(imgs); i++ {
+		got, err := pool.Run(ctx, imgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameBits(t, "cached pool post-recompile", i, want[i], got)
+	}
+}

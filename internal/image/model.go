@@ -1,0 +1,277 @@
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/convert"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// This file is the model half of the image payload: a converted spiking
+// network flattened into plain slices (the modelio idiom) and rebuilt
+// through the public snn constructors. The folded source ANN is not
+// persisted — no compiled path reads it — so a decoded model carries a
+// nil Folded.
+
+// maxTensorElems bounds any single decoded tensor; a corrupt spec cannot
+// demand an unbounded allocation.
+const maxTensorElems = 1 << 26
+
+// Vector is a tensor's flat data with a raw little-endian wire form.
+// Gob's native []float64 encoding walks every element through
+// reflection and a varint coder — for the megabytes of weights in a
+// model spec that is the slowest part of an image decode — so Vector
+// moves the same bits as one opaque byte string.
+type Vector []float64
+
+// GobEncode serializes the vector as raw little-endian float64 bits.
+func (v Vector) GobEncode() ([]byte, error) {
+	out := make([]byte, 0, 8*len(v))
+	for _, f := range v {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f))
+	}
+	return out, nil
+}
+
+// GobDecode restores a vector from its raw form, bounding the claimed
+// element count.
+func (v *Vector) GobDecode(data []byte) error {
+	if len(data)%8 != 0 {
+		return fmt.Errorf("image: tensor data is %d bytes, not a multiple of 8", len(data))
+	}
+	n := len(data) / 8
+	if n > maxTensorElems {
+		return fmt.Errorf("image: tensor data claims %d elements, cap is %d", n, maxTensorElems)
+	}
+	out := make(Vector, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	*v = out
+	return nil
+}
+
+// ModelSpec is the serializable form of a convert.Converted.
+type ModelSpec struct {
+	// Name is the network name.
+	Name string
+	// Layers describes every SNN layer in order.
+	Layers []LayerSpec
+	// Tensors and Shapes hold the layer parameters in traversal order:
+	// for each layer, W then (when HasB) B.
+	Tensors []Vector
+	Shapes  [][]int
+	// Lambda, StageANNLayer and Stages carry the conversion metadata the
+	// hybrid splitter and observability layout read.
+	Lambda        []float64
+	StageANNLayer []int
+	Stages        []convert.Stage
+	// Convert is the conversion configuration (encoder gain lives here).
+	Convert convert.Config
+}
+
+// LayerSpec describes one SNN layer sans parameters.
+type LayerSpec struct {
+	// Kind is one of "conv", "dense", "pool", "flatten", "output".
+	Kind string
+	// Name is the layer name.
+	Name string
+	// Conv geometry.
+	Stride, Pad, Groups int
+	// Pool geometry (K is the window, Stride reused for the pool stride).
+	K int
+	// IF neuron parameters (conv/dense/pool).
+	VTh, Leak  float64
+	Refractory int
+	Mode       int
+	// HasB records whether a bias tensor follows the weight tensor.
+	HasB bool
+}
+
+// EncodeModel flattens a converted network into its serializable spec.
+func EncodeModel(m *convert.Converted) (*ModelSpec, error) {
+	if m == nil || m.SNN == nil {
+		return nil, fmt.Errorf("image: nil model")
+	}
+	spec := &ModelSpec{
+		Name:          m.SNN.Name(),
+		Lambda:        append([]float64(nil), m.Lambda...),
+		StageANNLayer: append([]int(nil), m.StageANNLayer...),
+		Stages:        append([]convert.Stage(nil), m.Stages...),
+		Convert:       m.Cfg,
+	}
+	// The spec aliases the model's tensor data rather than copying it: a
+	// spec is read-only — hashed by Key, serialized by Encode — and the
+	// megabytes of weights are the bulk of it, so the alias is what keeps
+	// cache-key computation cheap on every CompileCached call.
+	addTensor := func(t *tensor.Tensor) {
+		spec.Tensors = append(spec.Tensors, Vector(t.Data()))
+		spec.Shapes = append(spec.Shapes, append([]int(nil), t.Shape()...))
+	}
+	for _, layer := range m.SNN.Layers {
+		switch v := layer.(type) {
+		case *snn.Conv:
+			ls := LayerSpec{Kind: "conv", Name: v.Name(), Stride: v.Stride, Pad: v.Pad,
+				Groups: v.Groups, VTh: v.IF.VTh, Leak: v.IF.Leak,
+				Refractory: v.IF.Refractory, Mode: int(v.IF.Mode), HasB: v.B != nil}
+			spec.Layers = append(spec.Layers, ls)
+			addTensor(v.W)
+			if v.B != nil {
+				addTensor(v.B)
+			}
+		case *snn.Dense:
+			ls := LayerSpec{Kind: "dense", Name: v.Name(), VTh: v.IF.VTh, Leak: v.IF.Leak,
+				Refractory: v.IF.Refractory, Mode: int(v.IF.Mode), HasB: v.B != nil}
+			spec.Layers = append(spec.Layers, ls)
+			addTensor(v.W)
+			if v.B != nil {
+				addTensor(v.B)
+			}
+		case *snn.AvgPoolIF:
+			spec.Layers = append(spec.Layers, LayerSpec{Kind: "pool", Name: v.Name(),
+				K: v.K, Stride: v.Stride, VTh: v.IF.VTh, Leak: v.IF.Leak,
+				Refractory: v.IF.Refractory, Mode: int(v.IF.Mode)})
+		case *snn.Flatten:
+			spec.Layers = append(spec.Layers, LayerSpec{Kind: "flatten", Name: v.Name()})
+		case *snn.Output:
+			spec.Layers = append(spec.Layers, LayerSpec{Kind: "output", Name: v.Name(), HasB: v.B != nil})
+			addTensor(v.W)
+			if v.B != nil {
+				addTensor(v.B)
+			}
+		default:
+			return nil, fmt.Errorf("image: unsupported layer type %T", layer)
+		}
+	}
+	return spec, nil
+}
+
+// DecodeModel rebuilds a converted network from its spec. Every geometric
+// claim the spec makes is validated before any tensor is constructed, so
+// a corrupted spec yields a *FormatError, never a panic.
+func DecodeModel(spec *ModelSpec) (*convert.Converted, error) {
+	if len(spec.Tensors) != len(spec.Shapes) {
+		return nil, formatErrf("model: %d tensors but %d shapes", len(spec.Tensors), len(spec.Shapes))
+	}
+	next := 0
+	take := func(wantDims int) (*tensor.Tensor, error) {
+		if next >= len(spec.Tensors) {
+			return nil, formatErrf("model: layer table demands tensor %d, only %d present", next, len(spec.Tensors))
+		}
+		data, shape := spec.Tensors[next], spec.Shapes[next]
+		next++
+		if wantDims > 0 && len(shape) != wantDims {
+			return nil, formatErrf("model: tensor %d has %d dims, want %d", next-1, len(shape), wantDims)
+		}
+		elems := 1
+		for _, d := range shape {
+			if d <= 0 || d > maxTensorElems {
+				return nil, formatErrf("model: tensor %d has invalid dim %d", next-1, d)
+			}
+			elems *= d
+			if elems > maxTensorElems {
+				return nil, formatErrf("model: tensor %d exceeds the element cap", next-1)
+			}
+		}
+		if elems != len(data) {
+			return nil, formatErrf("model: tensor %d shape %v wants %d elements, data has %d", next-1, shape, elems, len(data))
+		}
+		// The rebuilt tensor aliases the spec's data: both sides are
+		// read-only from here on, and the weights dominate the decode.
+		return tensor.FromSlice([]float64(data), shape...), nil
+	}
+	var layers []snn.Layer
+	for i, ls := range spec.Layers {
+		if ls.Mode < 0 || ls.Mode > int(snn.ResetToZero) {
+			return nil, formatErrf("model: layer %d has unknown reset mode %d", i, ls.Mode)
+		}
+		mode := snn.ResetMode(ls.Mode)
+		switch ls.Kind {
+		case "conv":
+			if ls.Stride < 1 || ls.Pad < 0 || ls.Groups < 1 {
+				return nil, formatErrf("model: conv layer %d has invalid geometry (stride %d, pad %d, groups %d)", i, ls.Stride, ls.Pad, ls.Groups)
+			}
+			w, err := take(4)
+			if err != nil {
+				return nil, err
+			}
+			if w.Dim(0)%ls.Groups != 0 {
+				return nil, formatErrf("model: conv layer %d: %d output channels not divisible by %d groups", i, w.Dim(0), ls.Groups)
+			}
+			b, err := takeBias(take, ls.HasB, w.Dim(0))
+			if err != nil {
+				return nil, err
+			}
+			layer := snn.NewConv(ls.Name, w, b, ls.Stride, ls.Pad, ls.Groups, ls.VTh, mode)
+			layer.IF.Leak, layer.IF.Refractory = ls.Leak, ls.Refractory
+			layers = append(layers, layer)
+		case "dense":
+			w, err := take(2)
+			if err != nil {
+				return nil, err
+			}
+			b, err := takeBias(take, ls.HasB, w.Dim(0))
+			if err != nil {
+				return nil, err
+			}
+			layer := snn.NewDense(ls.Name, w, b, ls.VTh, mode)
+			layer.IF.Leak, layer.IF.Refractory = ls.Leak, ls.Refractory
+			layers = append(layers, layer)
+		case "pool":
+			if ls.K < 1 || ls.Stride < 1 {
+				return nil, formatErrf("model: pool layer %d has invalid geometry (k %d, stride %d)", i, ls.K, ls.Stride)
+			}
+			layer := snn.NewAvgPoolIF(ls.Name, ls.K, ls.Stride, ls.VTh, mode)
+			layer.IF.Leak, layer.IF.Refractory = ls.Leak, ls.Refractory
+			layers = append(layers, layer)
+		case "flatten":
+			layers = append(layers, snn.NewFlatten(ls.Name))
+		case "output":
+			w, err := take(2)
+			if err != nil {
+				return nil, err
+			}
+			b, err := takeBias(take, ls.HasB, w.Dim(0))
+			if err != nil {
+				return nil, err
+			}
+			layers = append(layers, snn.NewOutput(ls.Name, w, b))
+		default:
+			return nil, formatErrf("model: layer %d has unknown kind %q", i, ls.Kind)
+		}
+	}
+	if next != len(spec.Tensors) {
+		return nil, formatErrf("model: %d tensors present, layer table consumed %d", len(spec.Tensors), next)
+	}
+	for i, st := range spec.Stages {
+		if st.SNNLayer < 0 || st.SNNLayer >= len(layers) {
+			return nil, formatErrf("model: stage %d references layer %d of %d", i, st.SNNLayer, len(layers))
+		}
+	}
+	return &convert.Converted{
+		SNN:           snn.NewNetwork(spec.Name, layers...),
+		Lambda:        append([]float64(nil), spec.Lambda...),
+		StageANNLayer: append([]int(nil), spec.StageANNLayer...),
+		Stages:        append([]convert.Stage(nil), spec.Stages...),
+		Cfg:           spec.Convert,
+	}, nil
+}
+
+// takeBias pops the bias tensor when the spec declares one, validating
+// its length against the layer's output count.
+func takeBias(take func(int) (*tensor.Tensor, error), has bool, want int) (*tensor.Tensor, error) {
+	if !has {
+		return nil, nil
+	}
+	b, err := take(1)
+	if err != nil {
+		return nil, err
+	}
+	if b.Dim(0) != want {
+		return nil, formatErrf("model: bias length %d, want %d", b.Dim(0), want)
+	}
+	return b, nil
+}

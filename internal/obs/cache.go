@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"sync/atomic"
+)
+
+// This file is the compile-cache observability surface. The
+// content-addressed chip-image cache (internal/image) reports its
+// lifecycle events — hits, misses, stores, quarantines — through a
+// small metrics interface; CacheRecorder is the canonical
+// implementation, mirroring FleetRecorder: wait-free atomic adds on the
+// compile path and a plain snapshot struct for export.
+
+// CacheRecorder accumulates compile-cache lifecycle counters. The zero
+// value is ready to use; all methods are safe for concurrent use. It
+// implements image.Metrics.
+type CacheRecorder struct {
+	hits        atomic.Int64
+	misses      atomic.Int64
+	stores      atomic.Int64
+	quarantines atomic.Int64
+}
+
+// AddHit counts a compile served from a verified cached image.
+func (c *CacheRecorder) AddHit() { c.hits.Add(1) }
+
+// AddMiss counts a compile with no usable cached image.
+func (c *CacheRecorder) AddMiss() { c.misses.Add(1) }
+
+// AddStore counts a freshly compiled image installed into the cache.
+func (c *CacheRecorder) AddStore() { c.stores.Add(1) }
+
+// AddQuarantine counts a corrupt entry renamed out of service.
+func (c *CacheRecorder) AddQuarantine() { c.quarantines.Add(1) }
+
+// CacheStats is a point-in-time copy of the cache counters. It contains
+// no maps or pointers, so equal stats marshal to identical bytes.
+type CacheStats struct {
+	// Hits / Misses partition cache lookups.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Stores counts installed entries; Quarantines corrupt entries
+	// renamed aside.
+	Stores      int64 `json:"stores"`
+	Quarantines int64 `json:"quarantines"`
+}
+
+// Stats snapshots the counters. Concurrent writers may land between
+// field loads; callers wanting exact totals quiesce compiles first.
+func (c *CacheRecorder) Stats() CacheStats {
+	return CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stores:      c.stores.Load(),
+		Quarantines: c.quarantines.Load(),
+	}
+}
+
+// cacheSeries defines the Prometheus series of one CacheStats, in fixed
+// emission order.
+var cacheSeries = []struct {
+	name, typ, help string
+	get             func(CacheStats) float64
+}{
+	{"nebula_image_cache_hits_total", "counter", "Compiles served from a verified cached chip image.",
+		func(s CacheStats) float64 { return float64(s.Hits) }},
+	{"nebula_image_cache_misses_total", "counter", "Compiles with no usable cached chip image.",
+		func(s CacheStats) float64 { return float64(s.Misses) }},
+	{"nebula_image_cache_stores_total", "counter", "Chip images installed into the cache.",
+		func(s CacheStats) float64 { return float64(s.Stores) }},
+	{"nebula_image_cache_quarantines_total", "counter", "Corrupt cache entries renamed out of service.",
+		func(s CacheStats) float64 { return float64(s.Quarantines) }},
+}
+
+// WritePrometheus writes the stats in the Prometheus text exposition
+// format with fixed series order, matching Snapshot.WritePrometheus.
+func (s CacheStats) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, m := range cacheSeries {
+		b.WriteString("# HELP " + m.name + " " + m.help + "\n")
+		b.WriteString("# TYPE " + m.name + " " + m.typ + "\n")
+		b.WriteString(m.name + " " + formatValue(m.get(s)) + "\n")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCacheRecorderCountsAndExports(t *testing.T) {
+	rec := &CacheRecorder{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rec.AddHit()
+				rec.AddMiss()
+			}
+			rec.AddStore()
+			rec.AddQuarantine()
+		}()
+	}
+	wg.Wait()
+
+	st := rec.Stats()
+	want := CacheStats{Hits: 40, Misses: 40, Stores: 4, Quarantines: 4}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+
+	var b bytes.Buffer
+	if err := st.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, series := range []string{
+		"nebula_image_cache_hits_total 40",
+		"nebula_image_cache_misses_total 40",
+		"nebula_image_cache_stores_total 4",
+		"nebula_image_cache_quarantines_total 4",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("prometheus export missing %q:\n%s", series, out)
+		}
+	}
+
+	var b2 bytes.Buffer
+	if err := st.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), b2.Bytes()) {
+		t.Fatal("prometheus export is not deterministic")
+	}
+}

@@ -89,6 +89,28 @@ func (r *Rand) Clone() *Rand {
 	return &c
 }
 
+// Fingerprint returns a 64-bit digest of the generator's current state
+// (stream position and the cached Box-Muller spare). Two generators with
+// equal fingerprints emit identical streams from here on, so the digest
+// can stand in for the full state wherever identity — not the state
+// itself — is what matters, e.g. in a compile-cache key that must
+// distinguish a fresh seeded noise source from a partially consumed one.
+func (r *Rand) Fingerprint() uint64 {
+	h := r.s0
+	fold := func(v uint64) {
+		h ^= v
+		h = splitMix64(&h)
+	}
+	fold(r.s1)
+	fold(r.s2)
+	fold(r.s3)
+	fold(math.Float64bits(r.spare))
+	if r.hasSpare {
+		fold(1)
+	}
+	return h
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
