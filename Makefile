@@ -6,7 +6,7 @@ GO ?= go
 # to make a build pass.
 COVER_FLOOR ?= 76.0
 
-.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke chaos-smoke cover obs-check kernel-check image-check verify
+.PHONY: build test race lint flow-lint fmt-check smoke bench-smoke chaos-smoke serve-smoke cover obs-check kernel-check image-check verify
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,13 @@ chaos-smoke:
 	$(GO) test -race -count=1 ./internal/experiments -run TestResilienceSmoke
 	$(GO) test -race -count=1 ./internal/fleet
 
+# Serving-tier smoke: the dynamic-batching frontend under the race
+# detector — coalescing, backpressure, graceful drain, per-request
+# deadlines and bitwise determinism across batch shapes (DESIGN.md §14).
+serve-smoke:
+	$(GO) test -race -count=1 ./internal/serve
+	$(GO) test -race -count=1 ./internal/experiments -run TestServeSmoke
+
 # Coverage gate: fails if total statement coverage drops below
 # COVER_FLOOR. Writes coverage.out and a browsable coverage.html.
 cover:
@@ -92,4 +99,4 @@ image-check:
 	$(GO) test -race -count=1 ./internal/image
 	@echo "chip images byte-deterministic; loaded sessions bitwise identical"
 
-verify: build fmt-check lint flow-lint test race smoke bench-smoke chaos-smoke cover obs-check kernel-check image-check
+verify: build fmt-check lint flow-lint test race smoke bench-smoke chaos-smoke serve-smoke cover obs-check kernel-check image-check

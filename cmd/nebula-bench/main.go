@@ -11,7 +11,7 @@
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
 // sensitivity, profile, faults, session, kernel, obs, resilience,
-// compile, all.
+// compile, serve, all.
 //
 // The resilience experiment replays a seeded chaos storm (drift bursts,
 // stuck-device onset, replica kills, run faults, deadline pressure)
@@ -36,6 +36,15 @@
 // the same session from its versioned chip image, verifies the loaded
 // session is bitwise identical, and records the speedup and image size
 // (-compileout, default BENCH_compile.json).
+//
+// The serve experiment drives the dynamic-batching inference frontend
+// (internal/serve): a determinism phase replays one request sequence
+// through servers at several batch shapes and demands bitwise identity
+// with a standalone golden session, then an open-loop load phase
+// records p50/p99 latency vs offered load, throughput at saturation
+// and batch-fill histograms (-serveout, default BENCH_serve.json);
+// -serve-smoke runs the tiny clock-free shape `make serve-smoke` gates
+// under -race.
 //
 // -cpuprofile / -memprofile write pprof profiles of whatever experiment
 // selection ran (see EXPERIMENTS.md for the analysis workflow).
@@ -74,7 +83,9 @@ func run() int {
 	kernelOut := flag.String("kernelout", "BENCH_kernel.json", "output path for the frozen-kernel speedup record")
 	resOut := flag.String("resout", "BENCH_resilience.json", "output path for the resilience chaos-study record")
 	compileOut := flag.String("compileout", "BENCH_compile.json", "output path for the compile-vs-image-load record")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the serving-tier load-study record")
 	resSmoke := flag.Bool("res-smoke", false, "run the resilience experiment at chaos-smoke scale")
+	serveSmoke := flag.Bool("serve-smoke", false, "run the serve experiment at smoke scale (clock-free determinism phase only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	flag.Parse()
@@ -272,6 +283,9 @@ func run() int {
 		"compile": func() error {
 			return runCompileBench(16, 40, *compileOut)
 		},
+		"serve": func() error {
+			return runServeBench(*serveSmoke, *serveOut)
+		},
 		"ablations": func() error {
 			experiments.AblationNUHierarchy().Render(os.Stdout)
 			experiments.AblationMorphableTiles().Render(os.Stdout)
@@ -286,7 +300,7 @@ func run() int {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
-		"kernel", "obs", "resilience", "compile",
+		"kernel", "obs", "resilience", "compile", "serve",
 	}
 
 	names := strings.Split(*exp, ",")

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// serveBench is the JSON record of the serving-tier load study: the
+// determinism block (bitwise identity across batch shapes — a pure
+// function of the config) and the load block (p50/p99 vs offered load,
+// throughput at saturation, batch-fill histograms — real-time figures)
+// stamped with the runtime environment.
+type serveBench struct {
+	Env    benchEnv                `json:"env"`
+	Result experiments.ServeResult `json:"result"`
+}
+
+// runServeBench runs the load study against the dynamic-batching
+// server and writes the record to outPath. smoke selects the tiny
+// clock-free shape `make serve-smoke` gates under -race (determinism
+// phase only); the default is the published load-study shape. The wall
+// clock is injected here — internal packages never read it — so the
+// study's determinism phase stays deterministic while the record still
+// carries real latency-vs-load curves.
+func runServeBench(smoke bool, outPath string) error {
+	cfg := experiments.DefaultServeConfig()
+	if smoke {
+		cfg = experiments.SmokeServeConfig()
+	} else {
+		start := time.Now()
+		cfg.Now = func() int64 { return int64(time.Since(start)) }
+	}
+	res, err := experiments.ServeStudy(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+
+	rec := serveBench{Env: captureEnv(), Result: res}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s]\n", outPath)
+	return nil
+}

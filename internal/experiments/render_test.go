@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAnalyticRenders drives every analytic (no-training) experiment
+// end to end — construct and Render — pinning that each one emits its
+// figure header. The trained-model studies are exercised at smoke
+// scale elsewhere; here their Render methods get literal results so the
+// terminal-output path stays covered without minutes of training.
+func TestAnalyticRenders(t *testing.T) {
+	cases := []struct {
+		name   string
+		render func(b *bytes.Buffer)
+		want   string
+	}{
+		{"fig12", func(b *bytes.Buffer) { Fig12ISAACLayerwise().Render(b) }, "Fig. 12"},
+		{"fig13a", func(b *bytes.Buffer) { Fig13aISAACAverage().Render(b) }, "Fig. 13(a)"},
+		{"fig13b", func(b *bytes.Buffer) { Fig13bINXSLayerwise().Render(b) }, "Fig. 13(b)"},
+		{"fig14", func(b *bytes.Buffer) { Fig14PeakPower().Render(b) }, "Fig. 14"},
+		{"fig15", func(b *bytes.Buffer) { Fig15ComponentBreakdownVGG().Render(b) }, "Fig. 15"},
+		{"fig16", func(b *bytes.Buffer) { Fig16ComponentBreakdownAll().Render(b) }, "Fig. 16"},
+		{"fig17", func(b *bytes.Buffer) { Fig17HybridStudy().Render(b) }, "Fig. 17"},
+		{"table3", func(b *bytes.Buffer) { TableIIIComponents().Render(b) }, "Table III"},
+	}
+	for _, tc := range cases {
+		var b bytes.Buffer
+		tc.render(&b)
+		if !strings.Contains(b.String(), tc.want) {
+			t.Fatalf("%s render missing %q:\n%s", tc.name, tc.want, b.String())
+		}
+		if !strings.Contains(b.String(), "\n") || b.Len() < 40 {
+			t.Fatalf("%s render suspiciously empty:\n%s", tc.name, b.String())
+		}
+	}
+}
+
+// TestTrainedStudyRenders covers the Render methods of the
+// trained-model studies with literal results.
+func TestTrainedStudyRenders(t *testing.T) {
+	var b bytes.Buffer
+
+	Fig4Result{Model: "m", Activity: []float64{0.1, 0.4}}.Render(&b)
+	if !strings.Contains(b.String(), "Fig. 4") {
+		t.Fatalf("fig4 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Fig9Result{Points: []Fig9Point{{"m", 0, 0.9}, {"m", 16, 0.85}}}.Render(&b)
+	if !strings.Contains(b.String(), "Fig. 9") || !strings.Contains(b.String(), "float") {
+		t.Fatalf("fig9 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	Fig10Result{Model: "m", ShortT: 60, LongT: 300,
+		CorrShortT: []float64{0.5}, CorrLongT: []float64{0.9}}.Render(&b)
+	if !strings.Contains(b.String(), "Fig. 10") {
+		t.Fatalf("fig10 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	TableIIResult{Rows: []TableIIRow{{"m", "SNN", 120, 0.8}, {"m", "Hyb-2", 60, 0.82}}}.Render(&b)
+	if !strings.Contains(b.String(), "Table II") {
+		t.Fatalf("table2 render:\n%s", b.String())
+	}
+
+	b.Reset()
+	NoiseResult{Model: "m", Sigma: 0.1, Trials: 3,
+		CleanANN: 0.9, NoisyANN: 0.85, CleanSNN: 0.88, NoisySNN: 0.86}.Render(&b)
+	if !strings.Contains(b.String(), "Monte-Carlo") {
+		t.Fatalf("noise render:\n%s", b.String())
+	}
+
+	// bar clamps to [0, width] and tolerates a degenerate max.
+	if bar(2, 0, 10) != "" {
+		t.Fatal("bar with max=0 should be empty")
+	}
+	if got := bar(-1, 1, 10); strings.Contains(got, "#") && len(got) > 2 {
+		t.Fatalf("bar clamped low: %q", got)
+	}
+	if got := bar(99, 1, 10); len(got) > 12 {
+		t.Fatalf("bar clamped high: %q", got)
+	}
+}

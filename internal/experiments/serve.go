@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/convert"
+	"repro/internal/crossbar"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/fleet"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/reliability"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// This file is the load study behind `nebula-bench -exp serve`: the
+// dynamic-batching frontend of internal/serve is measured two ways.
+// The determinism phase replays one request sequence through servers
+// configured for different batch shapes (solo, and coalesced at
+// several watermarks) and demands every output stay bitwise identical
+// to a standalone golden session — the admission-order ticket
+// reservation makes batch shape invisible to the arithmetic. The load
+// phase (needs the injected wall clock, so it is absent from smoke
+// determinism checks) drives the server open-loop at increasing
+// offered rates and records p50/p99 latency, achieved throughput and
+// the batch-fill histogram per level; throughput at saturation is the
+// best achieved rate across levels.
+
+// ServeConfig parameterizes the load study.
+type ServeConfig struct {
+	// Replicas is the pool size behind the server.
+	Replicas int
+	// Timesteps is the SNN evidence window per request.
+	Timesteps int
+	// BatchShapes are the coalescing watermarks of the determinism
+	// phase; shape 1 is the solo reference.
+	BatchShapes []int
+	// Requests is the request-sequence length of the determinism phase.
+	Requests int
+	// BatchSize / MaxDelay / QueueDepth configure the server under load.
+	BatchSize  int
+	MaxDelay   time.Duration
+	QueueDepth int
+	// OfferedLoads are the open-loop request rates (requests/second) of
+	// the load phase; RequestsPerLevel the sequence length per level.
+	// The load phase runs only with a clock.
+	OfferedLoads     []float64
+	RequestsPerLevel int
+	// NTrain / NTest size the synthetic dataset.
+	NTrain, NTest int
+	// Now, when non-nil, is a monotonic nanosecond clock injected from
+	// cmd/ (internal packages never read the wall clock). It enables the
+	// load phase and its latency figures — the one environment-dependent
+	// block of the record.
+	Now func() int64
+}
+
+// DefaultServeConfig returns the published load-study shape.
+func DefaultServeConfig() ServeConfig {
+	return ServeConfig{
+		Replicas:         3,
+		Timesteps:        20,
+		BatchShapes:      []int{1, 4, 8},
+		Requests:         24,
+		BatchSize:        8,
+		MaxDelay:         2 * time.Millisecond,
+		QueueDepth:       64,
+		OfferedLoads:     []float64{30, 120, 480, 960},
+		RequestsPerLevel: 60,
+		NTrain:           400,
+		NTest:            120,
+	}
+}
+
+// SmokeServeConfig returns the serve-smoke shape: tiny sequences,
+// clock-free (determinism phase only) — enough to exercise admission,
+// coalescing and ticket routing under -race in seconds.
+func SmokeServeConfig() ServeConfig {
+	return ServeConfig{
+		Replicas:    2,
+		Timesteps:   10,
+		BatchShapes: []int{1, 3, 8},
+		Requests:    9,
+		BatchSize:   8,
+		QueueDepth:  32,
+		NTrain:      150,
+		NTest:       60,
+	}
+}
+
+// ServeShapeOutcome is one batch shape of the determinism phase.
+type ServeShapeOutcome struct {
+	// BatchSize is the coalescing watermark the server ran with.
+	BatchSize int `json:"batch_size"`
+	// BitwiseMatches / Mismatched compare every served output against
+	// the standalone golden session; the determinism-under-coalescing
+	// contract demands Mismatched == 0 at every shape.
+	BitwiseMatches int `json:"bitwise_matches"`
+	Mismatched     int `json:"mismatched"`
+	// Batches is how many dispatches served the sequence; MeanFill the
+	// average requests per dispatch.
+	Batches  int64   `json:"batches"`
+	MeanFill float64 `json:"mean_fill"`
+}
+
+// ServeLoadLevel is one offered-load level of the load phase.
+type ServeLoadLevel struct {
+	// OfferedRPS is the open-loop submission rate; Requests the
+	// sequence length at this level.
+	OfferedRPS float64 `json:"offered_rps"`
+	Requests   int     `json:"requests"`
+	// Served / RejectedQueueFull / Failed partition the sequence.
+	Served            int `json:"served"`
+	RejectedQueueFull int `json:"rejected_queue_full"`
+	Failed            int `json:"failed"`
+	// AchievedRPS is served requests over the level's elapsed time.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// P50NS / P99NS are exact order-statistic latencies (admission to
+	// response) over served requests.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// MeanFill is the average batch fill at this level; BatchFill the
+	// full fill histogram.
+	MeanFill  float64            `json:"mean_fill"`
+	BatchFill obs.HistogramStats `json:"batch_fill"`
+}
+
+// ServeResult is the load study record.
+type ServeResult struct {
+	Model      string `json:"model"`
+	Replicas   int    `json:"replicas"`
+	Timesteps  int    `json:"timesteps"`
+	BatchSize  int    `json:"batch_size"`
+	MaxDelayNS int64  `json:"max_delay_ns"`
+	QueueDepth int    `json:"queue_depth"`
+	// Shapes is the determinism phase: one outcome per batch shape,
+	// every one of them required to be bitwise clean.
+	Shapes []ServeShapeOutcome `json:"shapes"`
+	// Levels is the load phase (present only when a clock was
+	// injected); SaturationRPS the best achieved rate across levels.
+	Levels        []ServeLoadLevel `json:"levels,omitempty"`
+	SaturationRPS float64          `json:"saturation_rps,omitempty"`
+}
+
+// serveChipSeed seeds every chip of the study — golden session and all
+// pool replicas — so they program identical arrays.
+const serveChipSeed = Seed + 17
+
+// ServeStudy runs the load study. The Shapes block is deterministic
+// for a fixed config; Levels depend on the host's real-time behaviour.
+func ServeStudy(ctx context.Context, cfg ServeConfig) (ServeResult, error) {
+	tm := trainScaled(benchmarkSpec{"mlp3/mnist-like", models.NewMLP3, dataset.MNISTLike, 8, 0}, cfg.NTrain, cfg.NTest)
+	conv, err := convert.Convert(tm.net, tm.trainDS, convert.DefaultConfig())
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("serve study: %w", err)
+	}
+
+	compile := func(ctx context.Context) (*arch.Session, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		chip := arch.NewChip(device.DefaultParams(), crossbar.Config{ReadNoiseSigma: 0.05}, rng.New(serveChipSeed))
+		chip.Rel = &reliability.Config{
+			Protection: reliability.ProtectSpareRemap,
+			Policy:     reliability.DefaultPolicy(),
+		}
+		return chip.Compile(conv,
+			arch.WithMode(arch.ModeSNN),
+			arch.WithTimesteps(cfg.Timesteps),
+			arch.WithSeed(Seed))
+	}
+
+	res := ServeResult{
+		Model:      tm.name,
+		Replicas:   cfg.Replicas,
+		Timesteps:  cfg.Timesteps,
+		BatchSize:  cfg.BatchSize,
+		MaxDelayNS: int64(cfg.MaxDelay),
+		QueueDepth: cfg.QueueDepth,
+	}
+
+	// Request sequence: the test set replayed in order.
+	n := cfg.Requests
+	if cfg.Now != nil && cfg.RequestsPerLevel > n {
+		n = cfg.RequestsPerLevel
+	}
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i], _ = tm.testDS.Sample(i % cfg.NTest)
+	}
+
+	// Golden baseline: a standalone session with the pool's seed, run
+	// sequentially over the sequence.
+	base, err := compile(ctx)
+	if err != nil {
+		return ServeResult{}, fmt.Errorf("serve study: baseline: %w", err)
+	}
+	golden := make([]*arch.RunResult, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		golden[i], err = base.Run(ctx, inputs[i])
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("serve study: baseline request %d: %w", i, err)
+		}
+	}
+
+	// newServer builds a fresh pool + server per phase so every phase
+	// starts from reservation index zero, like a fresh deployment.
+	newServer := func(batch int, delay time.Duration, rec *obs.ServeRecorder) (*serve.Server, error) {
+		pool, err := fleet.NewPool(ctx, fleet.Config{
+			Replicas: cfg.Replicas,
+			Factory:  compile,
+			Seed:     Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(serve.Config{
+			Pool:       pool,
+			BatchSize:  batch,
+			MaxDelay:   delay,
+			QueueDepth: cfg.QueueDepth,
+			Rec:        rec,
+			Now:        cfg.Now,
+		})
+	}
+
+	// Determinism phase: the same sequence through every batch shape.
+	for _, shape := range cfg.BatchShapes {
+		rec := obs.NewServeRecorder()
+		// Timed coalescing for multi-request shapes so batches actually
+		// fill; solo stays greedy.
+		delay := time.Duration(0)
+		if shape > 1 {
+			delay = 10 * time.Millisecond
+		}
+		srv, err := newServer(shape, delay, rec)
+		if err != nil {
+			return ServeResult{}, fmt.Errorf("serve study: shape %d: %w", shape, err)
+		}
+		// Submit the whole sequence first — deterministic admission
+		// order, maximal coalescing opportunity — then collect.
+		pending := make([]*serve.Pending, cfg.Requests)
+		for i := 0; i < cfg.Requests; i++ {
+			pending[i], err = srv.Submit(ctx, inputs[i])
+			if err != nil {
+				return ServeResult{}, fmt.Errorf("serve study: shape %d submit %d: %w", shape, i, err)
+			}
+		}
+		out := ServeShapeOutcome{BatchSize: shape}
+		for i, p := range pending {
+			run, err := p.Wait()
+			if err != nil {
+				return ServeResult{}, fmt.Errorf("serve study: shape %d request %d: %w", shape, i, err)
+			}
+			if sameBits(run.Output, golden[i].Output) {
+				out.BitwiseMatches++
+			} else {
+				out.Mismatched++
+			}
+		}
+		if err := srv.Drain(ctx); err != nil {
+			return ServeResult{}, fmt.Errorf("serve study: shape %d drain: %w", shape, err)
+		}
+		st := rec.Stats()
+		out.Batches = st.Batches
+		out.MeanFill = st.BatchFill.Mean()
+		res.Shapes = append(res.Shapes, out)
+	}
+
+	// Load phase: open-loop pacing needs the clock.
+	if cfg.Now == nil || len(cfg.OfferedLoads) == 0 {
+		return res, nil
+	}
+	for _, rps := range cfg.OfferedLoads {
+		level, err := serveLoadLevel(ctx, cfg, newServer, inputs, rps)
+		if err != nil {
+			return ServeResult{}, err
+		}
+		res.Levels = append(res.Levels, level)
+		if level.AchievedRPS > res.SaturationRPS {
+			res.SaturationRPS = level.AchievedRPS
+		}
+	}
+	return res, nil
+}
+
+// serveLoadLevel drives one offered-load level: open-loop submission at
+// a fixed interarrival, exact order-statistic latencies over the served
+// requests.
+func serveLoadLevel(ctx context.Context, cfg ServeConfig,
+	newServer func(int, time.Duration, *obs.ServeRecorder) (*serve.Server, error),
+	inputs []*tensor.Tensor, rps float64) (ServeLoadLevel, error) {
+	rec := obs.NewServeRecorder()
+	srv, err := newServer(cfg.BatchSize, cfg.MaxDelay, rec)
+	if err != nil {
+		return ServeLoadLevel{}, fmt.Errorf("serve study: level %.0f rps: %w", rps, err)
+	}
+	level := ServeLoadLevel{OfferedRPS: rps, Requests: cfg.RequestsPerLevel}
+	interarrival := int64(float64(time.Second) / rps)
+	latencies := make(chan int64, cfg.RequestsPerLevel)
+	errs := make(chan error, cfg.RequestsPerLevel)
+	start := cfg.Now()
+	inFlight := 0
+	for i := 0; i < cfg.RequestsPerLevel; i++ {
+		// Open loop: request i is offered at start + i*interarrival no
+		// matter how the server is doing — that is what "offered load"
+		// means. Sleep only for the remainder, if any.
+		if wait := start + int64(i)*interarrival - cfg.Now(); wait > 0 {
+			time.Sleep(time.Duration(wait))
+		}
+		t0 := cfg.Now()
+		p, err := srv.Submit(ctx, inputs[i%len(inputs)])
+		if err != nil {
+			if errors.Is(err, serve.ErrQueueFull) {
+				level.RejectedQueueFull++
+				continue
+			}
+			return ServeLoadLevel{}, fmt.Errorf("serve study: level %.0f rps submit %d: %w", rps, i, err)
+		}
+		inFlight++
+		go func() {
+			if _, err := p.Wait(); err != nil {
+				errs <- err
+				return
+			}
+			latencies <- cfg.Now() - t0
+		}()
+	}
+	var lats []int64
+	for ; inFlight > 0; inFlight-- {
+		select {
+		case d := <-latencies:
+			lats = append(lats, d)
+			level.Served++
+		case <-errs:
+			level.Failed++
+		case <-ctx.Done():
+			return ServeLoadLevel{}, ctx.Err()
+		}
+	}
+	elapsed := cfg.Now() - start
+	if err := srv.Drain(ctx); err != nil {
+		return ServeLoadLevel{}, fmt.Errorf("serve study: level %.0f rps drain: %w", rps, err)
+	}
+	if elapsed > 0 {
+		level.AchievedRPS = float64(level.Served) * float64(time.Second) / float64(elapsed)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	level.P50NS = orderStat(lats, 0.50)
+	level.P99NS = orderStat(lats, 0.99)
+	st := rec.Stats()
+	level.MeanFill = st.BatchFill.Mean()
+	level.BatchFill = st.BatchFill
+	return level, nil
+}
+
+// orderStat returns the exact q-th order statistic of a sorted sample
+// (nearest-rank), or 0 for an empty sample.
+func orderStat(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Render writes the load study summary.
+func (r ServeResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Serve load study (%s, %d replicas, T=%d, batch %d, queue %d)\n",
+		r.Model, r.Replicas, r.Timesteps, r.BatchSize, r.QueueDepth)
+	for _, s := range r.Shapes {
+		fmt.Fprintf(w, "  shape batch=%d: bitwise %d/%d  batches %d  mean fill %.2f\n",
+			s.BatchSize, s.BitwiseMatches, s.BitwiseMatches+s.Mismatched, s.Batches, s.MeanFill)
+	}
+	for _, l := range r.Levels {
+		fmt.Fprintf(w, "  load %6.1f rps: served %d  rejected %d  failed %d  achieved %6.1f rps  p50 %.2f ms  p99 %.2f ms  fill %.2f\n",
+			l.OfferedRPS, l.Served, l.RejectedQueueFull, l.Failed, l.AchievedRPS,
+			float64(l.P50NS)/1e6, float64(l.P99NS)/1e6, l.MeanFill)
+	}
+	if r.SaturationRPS > 0 {
+		fmt.Fprintf(w, "  throughput at saturation: %.1f rps\n", r.SaturationRPS)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the serve-smoke gate `make serve-smoke` runs under
+// -race: the smoke-scale load study must serve the same request
+// sequence bitwise identically at every batch shape — solo and
+// coalesced — proving batch shape is invisible to the arithmetic. The
+// smoke config is clock-free, so the record's load phase is absent and
+// everything asserted here is deterministic.
+func TestServeSmoke(t *testing.T) {
+	cfg := SmokeServeConfig()
+	res, err := ServeStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shapes) != len(cfg.BatchShapes) {
+		t.Fatalf("%d shape outcomes, want %d", len(res.Shapes), len(cfg.BatchShapes))
+	}
+	coalesced := false
+	for _, s := range res.Shapes {
+		if s.Mismatched != 0 || s.BitwiseMatches != cfg.Requests {
+			t.Fatalf("shape batch=%d not bitwise clean: %+v", s.BatchSize, s)
+		}
+		if s.Batches < 1 {
+			t.Fatalf("shape batch=%d dispatched no batches", s.BatchSize)
+		}
+		if s.BatchSize > 1 && s.Batches < int64(cfg.Requests) {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Fatal("no multi-request shape ever coalesced — the study is not load-bearing")
+	}
+	if len(res.Levels) != 0 || res.SaturationRPS != 0 {
+		t.Fatalf("clock-free smoke produced a load phase: %+v", res.Levels)
+	}
+
+	var b bytes.Buffer
+	res.Render(&b)
+	for _, want := range []string{"Serve load study", "shape batch=", "bitwise"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestServeLoadPhase exercises the open-loop load phase with a fake
+// monotonic clock: each read advances the clock 1 µs, and the offered
+// rates are set so high that no pacing sleep ever fires — the phase
+// runs at full machine speed while still producing real latency and
+// throughput figures from the injected clock.
+func TestServeLoadPhase(t *testing.T) {
+	cfg := SmokeServeConfig()
+	cfg.BatchShapes = []int{1}
+	cfg.Requests = 2
+	cfg.OfferedLoads = []float64{1e9, 2e9}
+	cfg.RequestsPerLevel = 6
+	var tick atomic.Int64
+	cfg.Now = func() int64 { return tick.Add(int64(time.Microsecond)) }
+
+	res, err := ServeStudy(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != len(cfg.OfferedLoads) {
+		t.Fatalf("%d load levels, want %d", len(res.Levels), len(cfg.OfferedLoads))
+	}
+	for _, l := range res.Levels {
+		if l.Served+l.RejectedQueueFull+l.Failed != cfg.RequestsPerLevel {
+			t.Fatalf("level %.0f rps: outcomes do not partition the sequence: %+v", l.OfferedRPS, l)
+		}
+		if l.Served == 0 {
+			t.Fatalf("level %.0f rps served nothing: %+v", l.OfferedRPS, l)
+		}
+		if l.P50NS <= 0 || l.P99NS < l.P50NS {
+			t.Fatalf("level %.0f rps: order statistics inconsistent: p50 %d p99 %d",
+				l.OfferedRPS, l.P50NS, l.P99NS)
+		}
+		if l.AchievedRPS <= 0 {
+			t.Fatalf("level %.0f rps: achieved rate %v", l.OfferedRPS, l.AchievedRPS)
+		}
+		if l.BatchFill.Count < 1 || l.BatchFill.Sum != int64(l.Served) {
+			t.Fatalf("level %.0f rps: fill histogram %d batches sum %d, want sum %d",
+				l.OfferedRPS, l.BatchFill.Count, l.BatchFill.Sum, l.Served)
+		}
+	}
+	if res.SaturationRPS <= 0 {
+		t.Fatalf("saturation rate %v", res.SaturationRPS)
+	}
+
+	var b bytes.Buffer
+	res.Render(&b)
+	for _, want := range []string{"load", "throughput at saturation"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestOrderStat pins the nearest-rank convention.
+func TestOrderStat(t *testing.T) {
+	if got := orderStat(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample: %d, want 0", got)
+	}
+	s := []int64{10, 20, 30, 40}
+	if got := orderStat(s, 0.0); got != 10 {
+		t.Fatalf("q=0: %d, want 10", got)
+	}
+	if got := orderStat(s, 0.5); got != 20 {
+		t.Fatalf("q=0.5: %d, want 20", got)
+	}
+	if got := orderStat(s, 1.0); got != 40 {
+		t.Fatalf("q=1: %d, want 40", got)
+	}
+}
+
+// TestDefaultServeConfig sanity-checks the published study shape.
+func TestDefaultServeConfig(t *testing.T) {
+	cfg := DefaultServeConfig()
+	if cfg.Replicas < 1 || cfg.BatchSize < 1 || cfg.QueueDepth < cfg.BatchSize {
+		t.Fatalf("default config not serveable: %+v", cfg)
+	}
+	if len(cfg.BatchShapes) == 0 || len(cfg.OfferedLoads) == 0 {
+		t.Fatalf("default config has empty phases: %+v", cfg)
+	}
+	if cfg.Now != nil {
+		t.Fatal("default config must be clock-free until cmd/ injects one")
+	}
+}

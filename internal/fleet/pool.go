@@ -135,6 +135,8 @@ type Pool struct {
 	streams *rng.Rand
 	// rr is the round-robin routing cursor.
 	rr atomic.Uint64
+	// inflight counts attempts currently executing on some replica.
+	inflight atomic.Int64
 }
 
 // NewPool compiles cfg.Replicas sessions through cfg.Factory and
@@ -171,18 +173,21 @@ func NewPool(ctx context.Context, cfg Config) (*Pool, error) {
 	return p, nil
 }
 
-// ticket is one request's reserved stream pair. The originals stay with
+// Ticket is one request's reserved stream pair. The originals stay with
 // the ticket; every attempt draws fresh clones, which is what makes a
-// retry replay the failed attempt bit for bit.
-type ticket struct {
+// retry replay the failed attempt bit for bit. Tickets are issued in
+// reservation order, so a request's result is a pure function of
+// (input, reservation index, pool seed) no matter when — or grouped
+// with what — it is eventually served.
+type Ticket struct {
 	enc, noise *rng.Rand
 }
 
 // reserve draws n stream pairs from the pool parent in request order —
 // the same split order a session's own reservation uses, which is why a
 // pool and a standalone session with equal seeds agree bitwise.
-func (p *Pool) reserve(n int) []ticket {
-	out := make([]ticket, n)
+func (p *Pool) reserve(n int) []Ticket {
+	out := make([]Ticket, n)
 	p.mu.Lock()
 	for i := range out {
 		out[i].enc = p.streams.Split()
@@ -190,6 +195,21 @@ func (p *Pool) reserve(n int) []ticket {
 	}
 	p.mu.Unlock()
 	return out
+}
+
+// ReserveTicket draws the next stream pair from the pool parent. A
+// serving tier reserves one ticket per request at admission time — in
+// admission order — and later redeems it with ServeReserved; because the
+// output depends only on (input, ticket, pool seed), the result is
+// byte-identical whether the request is then served alone or coalesced
+// into any batch.
+func (p *Pool) ReserveTicket() Ticket { return p.reserve(1)[0] }
+
+// ServeReserved executes one inference with a caller-reserved ticket,
+// with the same routing, retry and failover behaviour as Run. The
+// pool's own reservation cursor is untouched.
+func (p *Pool) ServeReserved(ctx context.Context, input *tensor.Tensor, tk Ticket) (*arch.RunResult, error) {
+	return p.serve(ctx, input, tk)
 }
 
 // Run executes one inference on some healthy replica, transparently
@@ -289,7 +309,7 @@ func (p *Pool) RunBatch(ctx context.Context, inputs []*tensor.Tensor) ([]*arch.R
 // no replica is serveable it falls back to an inline rescue (scrub or
 // emergency recompile) rather than failing fast — availability degrades
 // to latency, not errors.
-func (p *Pool) serve(ctx context.Context, input *tensor.Tensor, tk ticket) (*arch.RunResult, error) {
+func (p *Pool) serve(ctx context.Context, input *tensor.Tensor, tk Ticket) (*arch.RunResult, error) {
 	var lastErr error
 	lastReplica := -1
 	for attempt := 0; attempt <= p.cfg.RetryBudget; attempt++ {
@@ -344,7 +364,7 @@ func (p *Pool) serve(ctx context.Context, input *tensor.Tensor, tk ticket) (*arc
 // attempt runs one try on one replica under its shared lock. The
 // serveability check happens under the same lock, so a replica that
 // passes it cannot be mutated mid-run.
-func (p *Pool) attempt(ctx context.Context, r *replica, input *tensor.Tensor, tk ticket) (res *arch.RunResult, served bool, err error) {
+func (p *Pool) attempt(ctx context.Context, r *replica, input *tensor.Tensor, tk Ticket) (res *arch.RunResult, served bool, err error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if !p.serveableLocked(r) {
@@ -353,6 +373,8 @@ func (p *Pool) attempt(ctx context.Context, r *replica, input *tensor.Tensor, tk
 	if n := r.injectFail.Load(); n > 0 && r.injectFail.CompareAndSwap(n, n-1) {
 		return nil, true, fmt.Errorf("fleet: replica %d: injected run fault", r.id)
 	}
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
 	res, err = r.sess.RunReserved(ctx, input, arch.ReservedStreams{
 		Enc:   tk.enc.Clone(),
 		Noise: tk.noise.Clone(),
@@ -540,6 +562,54 @@ func (p *Pool) Healthy() int {
 
 // Replicas returns the pool size.
 func (p *Pool) Replicas() int { return len(p.replicas) }
+
+// PoolStats is a point-in-time occupancy snapshot of the pool: the
+// replica state partition plus the number of runs executing right now.
+// It is the introspection surface a serving tier's health endpoint
+// reads directly, instead of inferring pool health from Prometheus
+// text. Active + Suspect + Retired == Replicas always; Healthy is the
+// subset of Active that is also pristine and would pass the router's
+// serveability check this instant.
+type PoolStats struct {
+	// Replicas is the configured pool size.
+	Replicas int `json:"replicas"`
+	// Active counts replicas in service and not under suspicion;
+	// Suspect counts in-service replicas awaiting a clearing scrub after
+	// a failed attempt; Retired counts replicas awaiting recompile.
+	Active  int `json:"active"`
+	Suspect int `json:"suspect"`
+	Retired int `json:"retired"`
+	// Healthy counts replicas that would pass the serveability check
+	// right now (active, not suspect, session pristine).
+	Healthy int `json:"healthy"`
+	// InFlight counts attempts currently executing on some replica.
+	InFlight int64 `json:"in_flight"`
+}
+
+// Stats snapshots the pool occupancy. The state partition is read
+// lock-free; Healthy takes each replica's shared lock briefly for the
+// pristineness walk. Concurrent routing and maintenance may move
+// replicas between fields mid-snapshot; callers wanting exact totals
+// quiesce the pool first.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{Replicas: len(p.replicas), InFlight: p.inflight.Load()}
+	for _, r := range p.replicas {
+		switch {
+		case r.state.Load() == stateRetired:
+			st.Retired++
+		case r.suspect.Load():
+			st.Suspect++
+		default:
+			st.Active++
+		}
+		r.mu.RLock()
+		if p.serveableLocked(r) {
+			st.Healthy++
+		}
+		r.mu.RUnlock()
+	}
+	return st
+}
 
 // Report returns replica i's last scrub report.
 func (p *Pool) Report(i int) reliability.Report {

@@ -345,3 +345,76 @@ func TestPoolMaintainRetiresFaultedReplicaWithBackoff(t *testing.T) {
 		t.Fatalf("recompile bookkeeping wrong: %+v", s)
 	}
 }
+
+// TestPoolReservedTicketsDeterministicOutOfOrder is the serving-tier
+// contract: tickets reserved in admission order and redeemed in any
+// order — here, reversed and concurrently — still reproduce the
+// standalone sequential session bit for bit.
+func TestPoolReservedTicketsDeterministicOutOfOrder(t *testing.T) {
+	c, _ := fleetFixture(t)
+	ctx := context.Background()
+	imgs := fleetImages(t, 6)
+	want := goldenRuns(t, imgs)
+	pool, err := NewPool(ctx, Config{Replicas: 2, Factory: testFactory(c), Seed: fleetSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tickets := make([]Ticket, len(imgs))
+	for i := range imgs {
+		tickets[i] = pool.ReserveTicket()
+	}
+
+	got := make([]*arch.RunResult, len(imgs))
+	var wg sync.WaitGroup
+	for i := len(imgs) - 1; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := pool.ServeReserved(ctx, imgs[i], tickets[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := range imgs {
+		assertSameBits(t, "reserved", i, want[i], got[i])
+	}
+}
+
+// TestPoolStatsSnapshot checks the occupancy partition a serving tier's
+// health endpoint reads: fresh pools are all-active, a killed replica
+// moves to retired, and the partition always sums to Replicas.
+func TestPoolStatsSnapshot(t *testing.T) {
+	c, _ := fleetFixture(t)
+	ctx := context.Background()
+	pool, err := NewPool(ctx, Config{Replicas: 2, Factory: testFactory(c), Seed: fleetSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Replicas != 2 || s.Active != 2 || s.Healthy != 2 || s.Suspect != 0 || s.Retired != 0 {
+		t.Fatalf("fresh pool stats: %+v", s)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("fresh pool in-flight: %d, want 0", s.InFlight)
+	}
+
+	pool.Kill(0)
+	s = pool.Stats()
+	if s.Retired != 1 || s.Active != 1 || s.Healthy != 1 {
+		t.Fatalf("post-kill stats: %+v", s)
+	}
+	if s.Active+s.Suspect+s.Retired != s.Replicas {
+		t.Fatalf("partition does not sum: %+v", s)
+	}
+
+	// Report is per-replica introspection; a fresh replica's compile
+	// BIST left no pair unmitigated.
+	if r := pool.Report(1); r.Unmitigated != 0 {
+		t.Fatalf("fresh replica scrub report: %+v", r)
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"sync/atomic"
+)
+
+// This file is the serving-tier observability surface. The inference
+// daemon (internal/serve) coalesces queued requests into dynamic
+// batches, and the numbers that describe that machinery — queue depth,
+// batch fill, coalesce wait, end-to-end request latency, admission
+// rejections — live above both the per-stage hardware counters a
+// Recorder holds and the pool lifecycle counters a FleetRecorder holds,
+// so they get their own recorder. ServeRecorder is wait-free for
+// writers (atomic adds from the admission and dispatch paths) and
+// snapshots into a plain struct for export.
+//
+// Latencies are recorded in nanoseconds as measured by a clock the
+// caller injects (internal packages never read the wall clock); a
+// server running without a clock records zero durations and the
+// latency series simply stay empty.
+
+// serveFillBounds are the batch-fill histogram bucket upper bounds
+// (inclusive, in requests per dispatched batch).
+var serveFillBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// serveLatencyBounds are the latency histogram bucket upper bounds in
+// nanoseconds: powers of four from 16 µs to ~17 s, wide enough for a
+// queued SNN inference on a loaded host.
+var serveLatencyBounds = []float64{
+	1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24,
+	1 << 26, 1 << 28, 1 << 30, 1 << 32, 1 << 34,
+}
+
+// histogram is a fixed-bound, wait-free histogram: one overflow bucket
+// past the last bound, plus a sum for mean computation.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one sample.
+func (h *histogram) observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && float64(v) > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot copies the histogram into an exportable HistogramStats.
+func (h *histogram) snapshot() HistogramStats {
+	s := HistogramStats{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramStats is a point-in-time copy of one fixed-bound histogram.
+// Counts has one entry per bound plus a trailing overflow bucket.
+type HistogramStats struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    int64     `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the containing bucket, the standard Prometheus histogram
+// estimate. The overflow bucket reports its lower bound. Returns 0 for
+// an empty histogram.
+func (s HistogramStats) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i == len(s.Bounds) {
+			return lo
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (s HistogramStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// ServeRecorder accumulates serving-tier counters. The zero value is
+// not ready to use — construct with NewServeRecorder (the histograms
+// need their bucket arrays); all methods are safe for concurrent use.
+type ServeRecorder struct {
+	queueDepth atomic.Int64
+	draining   atomic.Int64
+
+	admitted         atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+	expiredQueued    atomic.Int64
+	served           atomic.Int64
+	failed           atomic.Int64
+	batches          atomic.Int64
+
+	fill       *histogram
+	coalesceNS *histogram
+	latencyNS  *histogram
+}
+
+// NewServeRecorder returns a ready serving-tier recorder.
+func NewServeRecorder() *ServeRecorder {
+	return &ServeRecorder{
+		fill:       newHistogram(serveFillBounds),
+		coalesceNS: newHistogram(serveLatencyBounds),
+		latencyNS:  newHistogram(serveLatencyBounds),
+	}
+}
+
+// SetQueueDepth records the current coalescing-queue occupancy (gauge).
+func (s *ServeRecorder) SetQueueDepth(n int) { s.queueDepth.Store(int64(n)) }
+
+// SetDraining records whether the server has stopped admitting (gauge).
+func (s *ServeRecorder) SetDraining(on bool) {
+	var v int64
+	if on {
+		v = 1
+	}
+	s.draining.Store(v)
+}
+
+// AddAdmitted counts requests accepted into the queue.
+func (s *ServeRecorder) AddAdmitted() { s.admitted.Add(1) }
+
+// AddRejectedQueueFull counts admissions refused on a full queue (the
+// 429 backpressure path).
+func (s *ServeRecorder) AddRejectedQueueFull() { s.rejectedFull.Add(1) }
+
+// AddRejectedDraining counts admissions refused during drain (the 503
+// path).
+func (s *ServeRecorder) AddRejectedDraining() { s.rejectedDraining.Add(1) }
+
+// AddExpiredQueued counts requests whose deadline expired while still
+// queued — culled at dispatch without ever reaching the pool.
+func (s *ServeRecorder) AddExpiredQueued() { s.expiredQueued.Add(1) }
+
+// AddServed counts requests that returned a result.
+func (s *ServeRecorder) AddServed() { s.served.Add(1) }
+
+// AddFailed counts dispatched requests that returned an error
+// (deadline mid-run, retry exhaustion).
+func (s *ServeRecorder) AddFailed() { s.failed.Add(1) }
+
+// ObserveBatch records one dispatched batch of n requests.
+func (s *ServeRecorder) ObserveBatch(n int) {
+	s.batches.Add(1)
+	s.fill.observe(int64(n))
+}
+
+// ObserveCoalesceWait records one request's enqueue→dispatch wait.
+func (s *ServeRecorder) ObserveCoalesceWait(ns int64) { s.coalesceNS.observe(ns) }
+
+// ObserveLatency records one request's end-to-end admission→response
+// latency.
+func (s *ServeRecorder) ObserveLatency(ns int64) { s.latencyNS.observe(ns) }
+
+// ServeStats is a point-in-time copy of the serving-tier counters.
+type ServeStats struct {
+	QueueDepth int64 `json:"queue_depth"`
+	Draining   bool  `json:"draining"`
+	// Admitted were accepted into the queue; RejectedQueueFull and
+	// RejectedDraining were refused at admission; ExpiredQueued were
+	// admitted but culled at dispatch after their deadline passed.
+	Admitted          int64 `json:"admitted"`
+	RejectedQueueFull int64 `json:"rejected_queue_full"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	ExpiredQueued     int64 `json:"expired_queued"`
+	// Served / Failed partition dispatched requests by outcome.
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
+	// Batches counts dispatched batches; BatchFill their size
+	// distribution.
+	Batches   int64          `json:"batches"`
+	BatchFill HistogramStats `json:"batch_fill"`
+	// CoalesceNS is the enqueue→dispatch wait; LatencyNS the end-to-end
+	// admission→response latency. Both empty when no clock is injected.
+	CoalesceNS HistogramStats `json:"coalesce_ns"`
+	LatencyNS  HistogramStats `json:"latency_ns"`
+}
+
+// Stats snapshots the counters. Concurrent writers may land between
+// field loads; callers wanting exact totals quiesce the server first.
+func (s *ServeRecorder) Stats() ServeStats {
+	return ServeStats{
+		QueueDepth:        s.queueDepth.Load(),
+		Draining:          s.draining.Load() != 0,
+		Admitted:          s.admitted.Load(),
+		RejectedQueueFull: s.rejectedFull.Load(),
+		RejectedDraining:  s.rejectedDraining.Load(),
+		ExpiredQueued:     s.expiredQueued.Load(),
+		Served:            s.served.Load(),
+		Failed:            s.failed.Load(),
+		Batches:           s.batches.Load(),
+		BatchFill:         s.fill.snapshot(),
+		CoalesceNS:        s.coalesceNS.snapshot(),
+		LatencyNS:         s.latencyNS.snapshot(),
+	}
+}
+
+// serveScalarSeries defines the scalar Prometheus series of one
+// ServeStats, in fixed emission order.
+var serveScalarSeries = []struct {
+	name, typ, help string
+	get             func(ServeStats) float64
+}{
+	{"nebula_serve_queue_depth", "gauge", "Requests waiting in the coalescing queue.",
+		func(s ServeStats) float64 { return float64(s.QueueDepth) }},
+	{"nebula_serve_draining", "gauge", "1 while the server refuses new admissions.",
+		func(s ServeStats) float64 {
+			if s.Draining {
+				return 1
+			}
+			return 0
+		}},
+	{"nebula_serve_requests_admitted_total", "counter", "Requests accepted into the queue.",
+		func(s ServeStats) float64 { return float64(s.Admitted) }},
+	{"nebula_serve_rejected_queue_full_total", "counter", "Admissions refused on a full queue (429).",
+		func(s ServeStats) float64 { return float64(s.RejectedQueueFull) }},
+	{"nebula_serve_rejected_draining_total", "counter", "Admissions refused during drain (503).",
+		func(s ServeStats) float64 { return float64(s.RejectedDraining) }},
+	{"nebula_serve_expired_queued_total", "counter", "Requests whose deadline expired while queued.",
+		func(s ServeStats) float64 { return float64(s.ExpiredQueued) }},
+	{"nebula_serve_requests_served_total", "counter", "Requests that returned a result.",
+		func(s ServeStats) float64 { return float64(s.Served) }},
+	{"nebula_serve_requests_failed_total", "counter", "Dispatched requests that returned an error.",
+		func(s ServeStats) float64 { return float64(s.Failed) }},
+	{"nebula_serve_batches_total", "counter", "Dispatched coalesced batches.",
+		func(s ServeStats) float64 { return float64(s.Batches) }},
+	{"nebula_serve_request_latency_p50_seconds", "gauge", "Estimated median end-to-end request latency.",
+		func(s ServeStats) float64 { return s.LatencyNS.Quantile(0.50) / 1e9 }},
+	{"nebula_serve_request_latency_p99_seconds", "gauge", "Estimated 99th-percentile end-to-end request latency.",
+		func(s ServeStats) float64 { return s.LatencyNS.Quantile(0.99) / 1e9 }},
+}
+
+// writeHistogram emits one histogram in the Prometheus exposition
+// format, with bucket bounds scaled by 1/scale (ns → s for latencies).
+func writeHistogram(b *bytes.Buffer, name, help string, h HistogramStats, scale float64) {
+	b.WriteString("# HELP " + name + " " + help + "\n")
+	b.WriteString("# TYPE " + name + " histogram\n")
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i] / scale)
+		}
+		b.WriteString(name + "_bucket{le=\"" + le + "\"} " + strconv.FormatInt(cum, 10) + "\n")
+	}
+	b.WriteString(name + "_sum " + formatValue(float64(h.Sum)/scale) + "\n")
+	b.WriteString(name + "_count " + strconv.FormatInt(h.Count, 10) + "\n")
+}
+
+// WritePrometheus writes the stats in the Prometheus text exposition
+// format with fixed series order, matching the other exporters.
+func (s ServeStats) WritePrometheus(w io.Writer) error {
+	var b bytes.Buffer
+	for _, m := range serveScalarSeries {
+		b.WriteString("# HELP " + m.name + " " + m.help + "\n")
+		b.WriteString("# TYPE " + m.name + " " + m.typ + "\n")
+		b.WriteString(m.name + " " + formatValue(m.get(s)) + "\n")
+	}
+	writeHistogram(&b, "nebula_serve_batch_fill", "Requests per dispatched batch.", s.BatchFill, 1)
+	writeHistogram(&b, "nebula_serve_coalesce_latency_seconds", "Enqueue-to-dispatch wait.", s.CoalesceNS, 1e9)
+	writeHistogram(&b, "nebula_serve_request_latency_seconds", "End-to-end admission-to-response latency.", s.LatencyNS, 1e9)
+	_, err := w.Write(b.Bytes())
+	return err
+}

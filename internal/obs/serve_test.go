@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []int64{1, 1, 2, 3, 4, 100} {
+		h.observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 111 {
+		t.Fatalf("sum = %d, want 111", s.Sum)
+	}
+	want := []int64{2, 1, 2, 1} // le=1: {1,1}; le=2: {2}; le=4: {3,4}; +Inf: {100}
+	for i, c := range want {
+		if s.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], c, s.Counts)
+		}
+	}
+}
+
+func TestHistogramStatsQuantile(t *testing.T) {
+	empty := HistogramStats{Bounds: []float64{1, 2}, Counts: []int64{0, 0, 0}}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := empty.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+
+	// 10 samples all in the (2,4] bucket: the median interpolates
+	// inside that bucket, between 2 and 4.
+	mid := HistogramStats{Bounds: []float64{2, 4}, Counts: []int64{0, 10, 0}, Sum: 30, Count: 10}
+	if q := mid.Quantile(0.5); q < 2 || q > 4 {
+		t.Fatalf("mid quantile = %v, want within (2,4]", q)
+	}
+	if m := mid.Mean(); m != 3 {
+		t.Fatalf("mean = %v, want 3", m)
+	}
+
+	// First bucket interpolates from lower bound 0.
+	first := HistogramStats{Bounds: []float64{2, 4}, Counts: []int64{10, 0, 0}, Sum: 10, Count: 10}
+	if q := first.Quantile(0.5); q <= 0 || q > 2 {
+		t.Fatalf("first-bucket quantile = %v, want within (0,2]", q)
+	}
+
+	// Samples in the overflow bucket report its lower bound.
+	over := HistogramStats{Bounds: []float64{2, 4}, Counts: []int64{0, 0, 10}, Sum: 1000, Count: 10}
+	if q := over.Quantile(0.99); q != 4 {
+		t.Fatalf("overflow quantile = %v, want 4", q)
+	}
+}
+
+func TestServeRecorderStats(t *testing.T) {
+	r := NewServeRecorder()
+	r.SetQueueDepth(3)
+	r.SetDraining(true)
+	r.AddAdmitted()
+	r.AddAdmitted()
+	r.AddRejectedQueueFull()
+	r.AddRejectedDraining()
+	r.AddExpiredQueued()
+	r.AddServed()
+	r.AddFailed()
+	r.ObserveBatch(2)
+	r.ObserveCoalesceWait(1 << 15)
+	r.ObserveLatency(1 << 20)
+
+	s := r.Stats()
+	if s.QueueDepth != 3 || !s.Draining {
+		t.Fatalf("gauges = depth %d draining %v, want 3 true", s.QueueDepth, s.Draining)
+	}
+	if s.Admitted != 2 || s.RejectedQueueFull != 1 || s.RejectedDraining != 1 {
+		t.Fatalf("admission counters = %d/%d/%d, want 2/1/1",
+			s.Admitted, s.RejectedQueueFull, s.RejectedDraining)
+	}
+	if s.ExpiredQueued != 1 || s.Served != 1 || s.Failed != 1 {
+		t.Fatalf("outcome counters = %d/%d/%d, want 1/1/1", s.ExpiredQueued, s.Served, s.Failed)
+	}
+	if s.Batches != 1 || s.BatchFill.Count != 1 || s.BatchFill.Sum != 2 {
+		t.Fatalf("batches = %d fill count %d sum %d, want 1/1/2",
+			s.Batches, s.BatchFill.Count, s.BatchFill.Sum)
+	}
+	if s.CoalesceNS.Count != 1 || s.LatencyNS.Count != 1 {
+		t.Fatalf("latency counts = %d/%d, want 1/1", s.CoalesceNS.Count, s.LatencyNS.Count)
+	}
+
+	r.SetDraining(false)
+	if r.Stats().Draining {
+		t.Fatal("draining gauge did not clear")
+	}
+}
+
+func TestServeStatsWritePrometheus(t *testing.T) {
+	r := NewServeRecorder()
+	r.AddAdmitted()
+	r.AddServed()
+	r.ObserveBatch(1)
+	r.ObserveLatency(1 << 20)
+
+	var b bytes.Buffer
+	if err := r.Stats().WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"nebula_serve_requests_admitted_total 1",
+		"nebula_serve_requests_served_total 1",
+		"nebula_serve_batches_total 1",
+		"nebula_serve_batch_fill_bucket{le=\"1\"} 1",
+		"nebula_serve_batch_fill_count 1",
+		"nebula_serve_request_latency_seconds_bucket{le=\"+Inf\"} 1",
+		"nebula_serve_request_latency_seconds_count 1",
+		"nebula_serve_request_latency_p50_seconds",
+		"# TYPE nebula_serve_queue_depth gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+// Package serve is the network inference tier: a dynamic-batching
+// request queue in front of a health-aware fleet.Pool, plus the HTTP
+// surface (infer, streaming infer, health, metrics) cmd/nebula-serve
+// exposes. It is the direct path from "simulator" to "service": the
+// paper's pitch is throughput-per-watt at the chip level, and batched,
+// event-driven evaluation is where that discipline pays at system
+// scale — a request that waits a few milliseconds to share a dispatch
+// amortizes scheduling and engine overhead across the whole batch.
+//
+// # Coalescing
+//
+// Admitted requests enter a bounded FIFO queue. A single dispatcher
+// goroutine collects them into batches and flushes on whichever comes
+// first: the batch-size watermark (Config.BatchSize) or the coalesce
+// deadline (Config.MaxDelay, armed when the first request of a batch
+// arrives). Each flushed batch is dispatched concurrently against the
+// pool, one routed attempt per request, so a batch fills the pool's
+// replicas and the engine's worker parallelism without ever giving one
+// request's failure the power to fail its batch-mates.
+//
+// # Backpressure
+//
+// Admission is refused — never blocked — when the queue is at capacity
+// (ErrQueueFull, HTTP 429) or the server is draining (ErrDraining,
+// HTTP 503). The queue bound is the service's one knob between "absorb
+// bursts" and "fail fast": everything past it waits in the clients,
+// where retry policy belongs.
+//
+// # Deadlines
+//
+// Every request carries its caller's context. A deadline that expires
+// while the request is still queued culls it at dispatch — it never
+// reaches the pool and costs no engine work (*DeadlineError, stage
+// "queued"). A deadline that expires mid-run cancels only that
+// request's attempt through the engine's existing ctx-cancellation
+// points; its batch-mates complete undisturbed (*DeadlineError, stage
+// "running").
+//
+// # Determinism under coalescing
+//
+// The server reserves a fleet.Ticket per request at admission time,
+// under the admission lock, so reservation order equals admission
+// order. Because a pool result is a pure function of (input,
+// reservation index, pool seed), a request's output is byte-identical
+// whether it is served solo, coalesced into any batch shape, retried,
+// or failed over — the serving tier adds scheduling, never arithmetic.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// ErrQueueFull reports an admission refused because the coalescing
+// queue is at capacity — the HTTP 429 backpressure signal.
+var ErrQueueFull = errors.New("serve: queue full")
+
+// ErrDraining reports an admission refused because the server is
+// draining — the HTTP 503 shutdown signal.
+var ErrDraining = errors.New("serve: draining")
+
+// Stage names where a request was when its deadline expired.
+const (
+	// StageQueued: the deadline passed while the request waited for a
+	// batch; it was culled at dispatch and never reached the pool.
+	StageQueued = "queued"
+	// StageRunning: the deadline passed mid-run; the request's own
+	// attempt was cancelled at the engine's next cancellation point
+	// while its batch-mates completed.
+	StageRunning = "running"
+)
+
+// DeadlineError reports a request whose context expired before a
+// result was produced. It wraps the context error, so errors.Is(err,
+// context.DeadlineExceeded) keeps working.
+type DeadlineError struct {
+	// Stage is StageQueued or StageRunning.
+	Stage string
+	// Err is the underlying context error.
+	Err error
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("serve: deadline expired while %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is / errors.As.
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// Config configures a Server.
+type Config struct {
+	// Pool is the compiled-session fleet that executes requests.
+	// Required.
+	Pool *fleet.Pool
+	// BatchSize is the coalescing watermark: a batch is flushed as soon
+	// as it holds this many requests (default 8).
+	BatchSize int
+	// MaxDelay is the coalesce deadline: a non-full batch is flushed
+	// this long after its first request arrived. Zero means "greedy":
+	// take whatever is queued right now and dispatch immediately —
+	// coalescing still happens under load, but an idle server adds no
+	// latency.
+	MaxDelay time.Duration
+	// QueueDepth bounds the number of admitted-but-undispatched
+	// requests; admissions past it fail with ErrQueueFull (default 64).
+	QueueDepth int
+	// Rec, when non-nil, receives the serving-tier counters.
+	Rec *obs.ServeRecorder
+	// Now, when non-nil, is a monotonic nanosecond clock used for the
+	// coalesce-wait and request-latency histograms. It is injected from
+	// cmd/ (internal packages never read the wall clock); nil disables
+	// latency measurement without affecting serving behaviour.
+	Now func() int64
+}
+
+// response is the terminal state of one admitted request.
+type response struct {
+	res *arch.RunResult
+	err error
+	// batch is the size of the coalesced batch the request was
+	// dispatched in (0 when culled while queued).
+	batch int
+}
+
+// request is one admitted inference: the caller's context, the input,
+// and the RNG ticket reserved at admission.
+type request struct {
+	ctx   context.Context
+	input *tensor.Tensor
+	tk    fleet.Ticket
+	// enqueuedNS is the admission timestamp (clock units; 0 without a
+	// clock).
+	enqueuedNS int64
+	// out receives exactly one response from the dispatcher. Buffered,
+	// so the dispatcher never blocks on an abandoned caller.
+	out chan response
+}
+
+// Pending is a submitted request whose result has not been collected
+// yet. Submit/Wait split admission from completion so a caller can
+// submit a stream of requests in a deterministic admission order and
+// only then block.
+type Pending struct {
+	req *request
+}
+
+// Wait blocks until the request completes and returns its result. The
+// dispatcher answers every admitted request exactly once — culled,
+// cancelled, failed or served — so Wait always returns, and the stage
+// on a *DeadlineError is authoritative: "queued" means the pool never
+// saw the request, "running" means its attempt was cancelled mid-run.
+func (p *Pending) Wait() (*arch.RunResult, error) {
+	r := <-p.req.out
+	return r.res, r.err
+}
+
+// Server is the dynamic-batching inference frontend. Construct with
+// New, serve with Submit/Infer (or the HTTP handler), stop with Drain.
+type Server struct {
+	cfg  Config
+	pool *fleet.Pool
+	rec  *obs.ServeRecorder
+	now  func() int64
+
+	// mu is the admission gate: it orders ticket reservation with queue
+	// insertion (reservation order == admission order, the determinism
+	// contract) and makes the draining flag an honest barrier.
+	mu       sync.Mutex
+	draining bool
+	queue    chan *request
+
+	// done closes when the dispatcher has flushed the queue and every
+	// admitted request has been answered.
+	done chan struct{}
+}
+
+// New starts a server over the pool and its dispatcher goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("serve: config needs a fleet.Pool")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 8
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  cfg.Pool,
+		rec:   cfg.Rec,
+		now:   cfg.Now,
+		queue: make(chan *request, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// clock reads the injected clock, or 0 without one.
+func (s *Server) clock() int64 {
+	if s.now == nil {
+		return 0
+	}
+	return s.now()
+}
+
+// Submit admits one request: it reserves the request's RNG ticket and
+// enqueues it for coalescing, returning as soon as admission is
+// decided. ctx governs the request through queueing and execution —
+// its deadline is the request deadline. Rejections are immediate and
+// typed: ErrDraining after Drain began, ErrQueueFull at capacity.
+func (s *Server) Submit(ctx context.Context, input *tensor.Tensor) (*Pending, error) {
+	req := &request{ctx: ctx, input: input, out: make(chan response, 1)}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		if s.rec != nil {
+			s.rec.AddRejectedDraining()
+		}
+		return nil, ErrDraining
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		if s.rec != nil {
+			s.rec.AddRejectedQueueFull()
+		}
+		return nil, ErrQueueFull
+	}
+	// Reserve under the lock: reservation order is admission order.
+	req.tk = s.pool.ReserveTicket()
+	req.enqueuedNS = s.clock()
+	// Cannot block: we are the only sender, we checked len < cap under
+	// the lock, and receivers only shrink the queue.
+	s.queue <- req
+	if s.rec != nil {
+		s.rec.AddAdmitted()
+		s.rec.SetQueueDepth(len(s.queue))
+	}
+	s.mu.Unlock()
+	return &Pending{req: req}, nil
+}
+
+// Infer is Submit + Wait: one blocking inference through the
+// coalescing queue.
+func (s *Server) Infer(ctx context.Context, input *tensor.Tensor) (*arch.RunResult, error) {
+	p, err := s.Submit(ctx, input)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// dispatch is the single coalescing loop: block for the first request
+// of a batch, collect until the watermark or the coalesce deadline,
+// flush, repeat. When Drain closes the queue the loop flushes whatever
+// remains and exits; runBatch answers every request it takes, so done
+// closing implies every admitted request was answered.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*request, 0, s.cfg.BatchSize)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		if s.cfg.MaxDelay > 0 {
+			timer.Reset(s.cfg.MaxDelay)
+			open := true
+		collect:
+			for open && len(batch) < s.cfg.BatchSize {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						open = false
+						break collect
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if open && !timer.Stop() {
+				// Drain a fired-but-unread timer so the next Reset arms
+				// cleanly.
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// Greedy mode: take everything already queued, up to the
+			// watermark, without waiting.
+		greedy:
+			for len(batch) < s.cfg.BatchSize {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		if s.rec != nil {
+			s.rec.SetQueueDepth(len(s.queue))
+		}
+		s.runBatch(batch)
+	}
+}
+
+// runBatch answers every request of one coalesced batch: requests
+// whose deadline already expired are culled without touching the pool,
+// the rest run concurrently — one routed pool attempt each, so a
+// failure or a mid-run deadline on one request never disturbs its
+// batch-mates. Returns when the whole batch is answered.
+func (s *Server) runBatch(batch []*request) {
+	dispatchNS := s.clock()
+	if s.rec != nil {
+		s.rec.ObserveBatch(len(batch))
+		if s.now != nil {
+			for _, r := range batch {
+				s.rec.ObserveCoalesceWait(dispatchNS - r.enqueuedNS)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			// Expired while queued: never dispatched, no pool work.
+			if s.rec != nil {
+				s.rec.AddExpiredQueued()
+			}
+			s.finish(r, response{err: &DeadlineError{Stage: StageQueued, Err: err}})
+			continue
+		}
+		wg.Add(1)
+		go func(r *request, n int) {
+			defer wg.Done()
+			res, err := s.pool.ServeReserved(r.ctx, r.input, r.tk)
+			if err != nil {
+				if ctxErr := r.ctx.Err(); ctxErr != nil {
+					err = &DeadlineError{Stage: StageRunning, Err: ctxErr}
+				}
+				s.finish(r, response{err: err, batch: n})
+				return
+			}
+			s.finish(r, response{res: res, batch: n})
+		}(r, len(batch))
+	}
+	wg.Wait()
+}
+
+// finish delivers a request's response and records its outcome.
+func (s *Server) finish(r *request, resp response) {
+	if s.rec != nil {
+		var de *DeadlineError
+		switch {
+		case resp.err == nil:
+			s.rec.AddServed()
+		case errors.As(resp.err, &de) && de.Stage == StageQueued:
+			// Already counted by the dispatcher's ExpiredQueued cull.
+		default:
+			s.rec.AddFailed()
+		}
+		if s.now != nil {
+			s.rec.ObserveLatency(s.now() - r.enqueuedNS)
+		}
+	}
+	r.out <- resp
+}
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the current number of admitted-but-undispatched
+// requests and the queue capacity.
+func (s *Server) QueueDepth() (depth, capacity int) {
+	return len(s.queue), cap(s.queue)
+}
+
+// Drain gracefully stops the server: admission is cut off first (new
+// Submits fail with ErrDraining), then the dispatcher flushes every
+// request already in the queue — a non-empty queue is served, not
+// dropped — and Drain returns when the last of them is answered. The
+// pool is left intact for the owner to dispose of. ctx bounds the
+// wait; on expiry the dispatcher keeps flushing in the background and
+// Drain returns the context error. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.rec != nil {
+			s.rec.SetDraining(true)
+		}
+		// Safe: admission holds mu and checks draining before sending,
+		// so no send can race this close.
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
