@@ -18,12 +18,14 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/models"
 	"repro/internal/reliability"
 	"repro/internal/rng"
+	"repro/internal/snn"
 	"repro/internal/tensor"
 )
 
@@ -379,3 +381,43 @@ func BenchmarkSession_Parallel4(b *testing.B)  { benchmarkSession(b, 4) }
 func BenchmarkSession_ParallelNumCPU(b *testing.B) {
 	benchmarkSession(b, runtime.NumCPU())
 }
+
+// benchmarkSessionSparse is benchmarkSession at a controlled input
+// activity: every pixel carries the target activity as its intensity
+// and a gain-1 Poisson encoder turns that into Bernoulli spike planes
+// of that expected density — the low-rate regime the event-driven
+// stepping engine exists for (BENCH_sparse.json sweeps the same knob
+// against the dense walk).
+func benchmarkSessionSparse(b *testing.B, activity float64) {
+	pipe, imgs0 := sessionFixture(b)
+	imgs := make([]*tensor.Tensor, len(imgs0))
+	for i := range imgs {
+		img := tensor.New(imgs0[i].Shape()...)
+		d := img.Data()
+		for j := range d {
+			d[j] = activity
+		}
+		imgs[i] = img
+	}
+	sess, err := pipe.CompileChip(40, 1, arch.WithEncoder(func(r *rng.Rand) snn.Encoder {
+		return snn.NewPoissonEncoder(1.0, r)
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	images := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sess.RunBatch(ctx, imgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		images += len(res)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(images)/b.Elapsed().Seconds(), "img/s")
+}
+
+func BenchmarkSession_Sparse10(b *testing.B) { benchmarkSessionSparse(b, 0.10) }
+func BenchmarkSession_Sparse1(b *testing.B)  { benchmarkSessionSparse(b, 0.01) }

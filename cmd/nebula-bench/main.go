@@ -10,8 +10,8 @@
 //
 // Experiments: fig1, fig4, fig9, fig10, fig12, fig13a, fig13b, fig14,
 // fig15, fig16, fig17, table1, table2, table3, noise, ablations,
-// sensitivity, profile, faults, session, kernel, obs, resilience,
-// compile, serve, all.
+// sensitivity, profile, faults, session, kernel, sparse, obs,
+// resilience, compile, serve, all.
 //
 // The resilience experiment replays a seeded chaos storm (drift bursts,
 // stuck-device onset, replica kills, run faults, deadline pressure)
@@ -26,7 +26,12 @@
 // experiment measures the frozen-conductance read kernels against the
 // dense reference walk — a MACRead sweep across activity levels plus
 // the trained SNN workload end to end — verifies bitwise identity, and
-// records the speedups (-kernelout, default BENCH_kernel.json). The obs
+// records the speedups (-kernelout, default BENCH_kernel.json). The
+// sparse experiment sweeps controlled input-activity levels (1%, 10%,
+// 50%, dense) through the event-driven stepping engine against the
+// dense reference walk, verifies bitwise identity at every level, and
+// records the speedups plus the silent-skip/packed-word/repeat-read
+// counters (-sparseout, default BENCH_sparse.json). The obs
 // experiment streams a batch through observed sessions in every mode
 // and records the counter snapshots plus their energy attribution
 // (-obsout, default BENCH_obs.json); the record carries no timings, so
@@ -84,6 +89,7 @@ func run() int {
 	resOut := flag.String("resout", "BENCH_resilience.json", "output path for the resilience chaos-study record")
 	compileOut := flag.String("compileout", "BENCH_compile.json", "output path for the compile-vs-image-load record")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "output path for the serving-tier load-study record")
+	sparseOut := flag.String("sparseout", "BENCH_sparse.json", "output path for the event-driven sparsity-study record")
 	resSmoke := flag.Bool("res-smoke", false, "run the resilience experiment at chaos-smoke scale")
 	serveSmoke := flag.Bool("serve-smoke", false, "run the serve experiment at smoke scale (clock-free determinism phase only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -274,6 +280,9 @@ func run() int {
 		"kernel": func() error {
 			return runKernelBench(64, 40, *kernelOut)
 		},
+		"sparse": func() error {
+			return runSparseBench(16, 40, *sparseOut)
+		},
 		"obs": func() error {
 			return runObsBench(16, 20, *parallel, *obsOut)
 		},
@@ -300,7 +309,7 @@ func run() int {
 		"fig1", "table3", "fig12", "fig13a", "fig13b", "fig14", "fig15",
 		"fig16", "fig17", "ablations", "sensitivity", "table1", "table2",
 		"fig4", "fig9", "fig10", "noise", "profile", "faults", "session",
-		"kernel", "obs", "resilience", "compile", "serve",
+		"kernel", "sparse", "obs", "resilience", "compile", "serve",
 	}
 
 	names := strings.Split(*exp, ",")

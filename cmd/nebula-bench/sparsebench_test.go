@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunSparseBenchSmoke runs the activity sweep at smoke scale and
+// checks the record: env-stamped, one point per activity level, every
+// level bitwise identical, and the event runs actually exercising the
+// packed path (non-zero packed-word counters). The dense-walk purity
+// check (no packed counters on the reference engine) and the identity
+// check are enforced inside runSparseBench itself — a violation fails
+// the run, not just the record.
+func TestRunSparseBenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_sparse.json")
+	if err := runSparseBench(8, 6, out); err != nil {
+		t.Fatalf("runSparseBench: %v", err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading sparse record: %v", err)
+	}
+	var rec sparseBench
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("sparse record is not valid JSON: %v", err)
+	}
+	if rec.Env.GoVersion == "" {
+		t.Fatalf("sparse record missing env stamp: %+v", rec.Env)
+	}
+	if len(rec.Points) != 4 {
+		t.Fatalf("got %d sweep points, want 4: %+v", len(rec.Points), rec.Points)
+	}
+	for _, pt := range rec.Points {
+		if !pt.BitwiseIdentical {
+			t.Errorf("activity %v recorded as not bitwise identical", pt.Activity)
+		}
+		if pt.PackedWords == 0 {
+			t.Errorf("activity %v: event run reports zero packed words", pt.Activity)
+		}
+		if pt.DenseNsPerImg <= 0 || pt.EventNsPerImg <= 0 || pt.Speedup <= 0 {
+			t.Errorf("activity %v: degenerate timings: %+v", pt.Activity, pt)
+		}
+	}
+}

@@ -109,6 +109,20 @@ type RunResult struct {
 	NoCHops int64
 	// EDRAMAccesses counts eDRAM transactions (pipeline stages 1 and 3).
 	EDRAMAccesses int64
+	// SilentStageSkips counts stage-timesteps the event-driven engine
+	// skipped entirely because the stage's input spike plane was zero.
+	// Skipped stages charge no cycles, packets or accesses — the
+	// hardware semantics of an event-driven chip (PAPER.md §IV).
+	SilentStageSkips int64
+	// SpikesSkipped counts silent input slots not driven on the
+	// event-driven path (plane length minus popcount per stage step).
+	SpikesSkipped int64
+	// PackedWords counts packed spike-plane words processed.
+	PackedWords int64
+	// RepeatReads counts crossbar reads served from the timestep-repeat
+	// cache; the replayed read's stats are re-charged, so results and
+	// crossbar accounting are identical to a cache-free event run.
+	RepeatReads int64
 	// Crossbar collects the run's crossbar activity on the session
 	// engine's frozen-conductance path (wear-mode runs accumulate into
 	// the arrays' own counters instead, as the deprecated entry points

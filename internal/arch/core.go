@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/mapping"
 	"repro/internal/rng"
+	"repro/internal/spikeplane"
 	"repro/internal/tensor"
 )
 
@@ -112,11 +113,22 @@ func (c *SNNCore) Program(w *tensor.Tensor, wmax float64, positions int) error {
 		return err
 	}
 	c.kernels = w.Dim(1)
-	c.neurons = make([]*device.SpikingNeuron, c.kernels*positions)
-	for i := range c.neurons {
-		c.neurons[i] = device.NewSpikingNeuron(c.ST.P)
-	}
+	c.neurons = neuronSlab(c.ST.P, c.kernels*positions)
 	return nil
+}
+
+// neuronSlab allocates n neurons in one contiguous backing array so the
+// per-timestep integrate walk streams through memory instead of chasing
+// n separate heap objects. The pointer indirection is kept: callers
+// hold []*SpikingNeuron and individual neurons stay addressable.
+func neuronSlab(p device.Params, n int) []*device.SpikingNeuron {
+	slab := make([]device.SpikingNeuron, n)
+	out := make([]*device.SpikingNeuron, n)
+	for i := range slab {
+		slab[i].P = p
+		out[i] = &slab[i]
+	}
+	return out
 }
 
 // configure is the restore-path half of Program: switch geometry and
@@ -131,10 +143,7 @@ func (c *SNNCore) configure(km *tensor.Tensor, wmax float64, positions int) erro
 		return err
 	}
 	c.kernels = km.Dim(1)
-	c.neurons = make([]*device.SpikingNeuron, c.kernels*positions)
-	for i := range c.neurons {
-		c.neurons[i] = device.NewSpikingNeuron(c.ST.P)
-	}
+	c.neurons = neuronSlab(c.ST.P, c.kernels*positions)
 	return nil
 }
 
@@ -227,6 +236,41 @@ func integrateBankInto(out []float64, p device.Params, vth float64, bank []*devi
 		}
 		if bank[i].Integrate(cur, p.PulseNS) {
 			out[i] = 1
+			spikes++
+		}
+	}
+	return spikes
+}
+
+// integrateBankIntoPlane is integrateBankInto additionally building the
+// packed spike plane of the emitted fire vector during the same walk,
+// so the event-driven engine skips the O(neurons) re-scan a post-hoc
+// Pack would cost. The plane is bitwise what Pack(out) would produce:
+// fires are exactly 1.0, so it stays binary.
+//
+//nebula:hotpath
+func integrateBankIntoPlane(out []float64, pl *spikeplane.Plane, p device.Params, vth float64, bank []*device.SpikingNeuron, sums []float64) int64 {
+	pl.Reset(len(out))
+	for i := range out {
+		out[i] = 0
+	}
+	span := p.LengthNM / (p.MobilityNMPerUAns * p.PulseNS)
+	var spikes int64
+	for i, inc := range sums {
+		if inc == 0 {
+			continue
+		}
+		mag := inc
+		if mag < 0 {
+			mag = -mag
+		}
+		cur := mag/vth*span + p.DepinningCurrentUA
+		if inc < 0 {
+			cur = -cur // inhibition drives the wall back toward reset
+		}
+		if bank[i].Integrate(cur, p.PulseNS) {
+			out[i] = 1
+			pl.Set(i)
 			spikes++
 		}
 	}

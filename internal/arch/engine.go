@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/crossbar"
 	"repro/internal/device"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/spikeplane"
 	"repro/internal/tensor"
 )
 
@@ -51,6 +53,11 @@ func (s *Session) reserveStreams(n int) []runStreams {
 type runState struct {
 	stages []*stageRun
 	au     *AccumulatorUnit
+	// encPlane is the packed spike plane of the encoder's output, the
+	// head of the event-driven plane chain threaded through the stages.
+	encPlane spikeplane.Plane
+	// encT is the recycled encoder output buffer (IntoEncoder path).
+	encT *tensor.Tensor
 }
 
 // stageRun holds one stage's per-run state. Exactly one group of the
@@ -89,6 +96,28 @@ type stageRun struct {
 	outInc, outIncFlat *tensor.Tensor
 	// fireT is the cached tensor view over fire a dense stage emits.
 	fireT *tensor.Tensor
+
+	// outPlane is the stage's packed output spike plane (event path).
+	outPlane spikeplane.Plane
+	// winPlane is the packed scratch for conv receptive-field windows
+	// and spill-block views.
+	winPlane spikeplane.Plane
+	// poolZero is the cached zero output of a silent pool stage.
+	poolZero *tensor.Tensor
+
+	// Timestep-repeat cache of a dense in-core stage (event path).
+	// The cached column sums are a pure function of (input values,
+	// conductance generation), so the cache stays valid across runs
+	// recycled through the arena; lastIn is only kept for graded
+	// (non-binary) planes, whose bit pattern underdetermines the
+	// values. lastCross is the cached read's crossbar-stats delta,
+	// replayed on a hit so accounting is identical either way.
+	lastPlane spikeplane.Plane
+	lastIn    []float64
+	lastSums  []float64
+	lastCross crossbar.Stats
+	lastGen   uint64
+	haveLast  bool
 }
 
 // newRunState allocates scratch state shaped for the compiled pipeline.
@@ -155,6 +184,12 @@ type execEnv struct {
 	shard *obs.RunRecord
 	// hops is the mesh distance charged per inter-stage packet.
 	hops int64
+	// event selects the bit-packed event-driven stepping path: spike
+	// planes thread between stages, silent stages and windows skip
+	// their reads, and dense stages consult the timestep-repeat cache.
+	// Only enabled off the wear path with a nil read-noise stream, so
+	// skipping reads cannot shift an RNG stream (DESIGN.md §15).
+	event bool
 	// sc is the evaluation scratch of callers without a stage-owned one
 	// (the continuous ANN stages).
 	sc EvalScratch
@@ -164,13 +199,16 @@ type execEnv struct {
 // the stage's contribution can be attributed as a delta afterwards.
 type stageMark struct {
 	cycles, spikes, packets, hops, adc, edram int64
+	skips, skipped, packed, repeats           int64
 	cross                                     crossbar.Stats
 }
 
 // mark snapshots the current counters.
 func (env *execEnv) mark(res *RunResult) stageMark {
 	m := stageMark{cycles: res.Cycles, spikes: res.Spikes, packets: res.NoCPackets,
-		hops: res.NoCHops, adc: res.ADCConversions, edram: res.EDRAMAccesses}
+		hops: res.NoCHops, adc: res.ADCConversions, edram: res.EDRAMAccesses,
+		skips: res.SilentStageSkips, skipped: res.SpikesSkipped,
+		packed: res.PackedWords, repeats: res.RepeatReads}
 	if env.cross != nil {
 		m.cross = *env.cross
 	}
@@ -190,6 +228,10 @@ func (env *execEnv) observe(m stageMark, res *RunResult, c *obs.Counters) int64 
 	c.NoCHops += res.NoCHops - m.hops
 	c.ADCConversions += res.ADCConversions - m.adc
 	c.EDRAMAccesses += res.EDRAMAccesses - m.edram
+	c.SilentStageSkips += res.SilentStageSkips - m.skips
+	c.SpikesSkipped += res.SpikesSkipped - m.skipped
+	c.PackedWords += res.PackedWords - m.packed
+	c.RepeatReads += res.RepeatReads - m.repeats
 	if env.cross != nil {
 		d := env.cross.Diff(m.cross)
 		c.MACReads += d.MACs
@@ -257,6 +299,109 @@ func (env *execEnv) coreStep(core *SNNCore, sr *stageRun, pos int, in []float64,
 	return sr.fire, nil
 }
 
+// float64sEqual reports bitwise equality of two value vectors.
+//
+//nebula:hotpath
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// coreStepEvent is coreStep on the event-driven path: the input spike
+// plane drives a packed super-tile read (silent stack-height windows
+// skip their AC reads entirely), and dense stages additionally consult
+// the timestep-repeat cache — when the input plane and the
+// super-tile's conductance generation both match the previous step,
+// the cached column sums and the read's crossbar-stats delta are
+// replayed instead of recomputed. Membrane integration always runs
+// against the replica bank, so neuron state stays cycle-exact and the
+// emitted spikes are bitwise identical to the dense walk. When outPl
+// is non-nil the emitted fire vector's plane is built during the
+// integrate walk (no separate Pack scan).
+//
+//nebula:hotpath
+func (env *execEnv) coreStepEvent(core *SNNCore, sr *stageRun, pos int, in []float64, pl *spikeplane.Plane, outPl *spikeplane.Plane, bias []float64, useCache bool, res *RunResult) ([]float64, error) {
+	bank := sr.neurons
+	if (pos+1)*core.kernels > len(bank) {
+		return nil, fmt.Errorf("arch: position %d beyond allocated replicas", pos)
+	}
+	res.Cycles++ // cycle 1: eDRAM → IB
+	res.EDRAMAccesses++
+	res.PackedWords += int64(len(pl.WordSlice()))
+	res.SpikesSkipped += int64(pl.Len() - pl.Count())
+	if len(sr.sums) != core.ST.cols {
+		sr.sums = make([]float64, core.ST.cols)
+	}
+	hit := false
+	if useCache && sr.haveLast {
+		if gen := core.ST.GenSum(); gen == sr.lastGen &&
+			pl.Binary() == sr.lastPlane.Binary() &&
+			pl.EqualWords(&sr.lastPlane) &&
+			(pl.Binary() || float64sEqual(in, sr.lastIn)) {
+			copy(sr.sums, sr.lastSums)
+			res.RepeatReads++
+			hit = true
+		}
+	}
+	if !hit {
+		// Evaluate into a private stats bucket and fold it below with
+		// the exact adds the hit path replays — that shared fold is
+		// what makes a cache hit's accounting bitwise identical to a
+		// miss (a scalar after-minus-before delta would round
+		// differently than the original per-array accumulation).
+		sr.lastCross = crossbar.Stats{}
+		if err := core.ST.EvaluateReadPacked(sr.sums, in, pl, env.noise, &sr.lastCross, &sr.sc); err != nil {
+			return nil, err
+		}
+		if useCache {
+			sr.lastPlane.CopyFrom(pl)
+			if !pl.Binary() {
+				sr.lastIn = append(sr.lastIn[:0], in...)
+			}
+			if len(sr.lastSums) != len(sr.sums) {
+				sr.lastSums = make([]float64, len(sr.sums))
+			}
+			copy(sr.lastSums, sr.sums)
+			sr.lastGen = core.ST.GenSum()
+			sr.haveLast = true
+		}
+	}
+	if env.cross != nil {
+		env.cross.MACs += sr.lastCross.MACs
+		env.cross.ActiveRowSum += sr.lastCross.ActiveRowSum
+		env.cross.OutputCurrentUA += sr.lastCross.OutputCurrentUA
+	}
+	sums := sr.sums
+	res.Cycles++ // cycle 2: drive crossbars, integrate at NU
+	if bias != nil {
+		for i := range sums {
+			if i < len(bias) {
+				sums[i] += bias[i]
+			}
+		}
+	}
+	if len(sr.fire) != len(sums) {
+		sr.fire = make([]float64, len(sums))
+	}
+	var spikes int64
+	if outPl != nil {
+		spikes = integrateBankIntoPlane(sr.fire, outPl, core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
+	} else {
+		spikes = integrateBankInto(sr.fire, core.ST.P, core.VTh, bank[pos*core.kernels:(pos+1)*core.kernels], sums)
+	}
+	res.Spikes += spikes
+	res.Cycles++ // cycle 3: OB → eDRAM
+	res.EDRAMAccesses++
+	return sr.fire, nil
+}
+
 // spillStep advances one spill-stage position against the run's private
 // RU membrane registers, mirroring RUSpillCore.StepAt. The spike vector
 // returned aliases sr.fire. Spill blocks let the kernels rediscover
@@ -264,7 +409,7 @@ func (env *execEnv) coreStep(core *SNNCore, sr *stageRun, pos int, in []float64,
 // spike list re-based anyway).
 //
 //nebula:hotpath
-func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias []float64, res *RunResult) ([]float64, error) {
+func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias []float64, pl *spikeplane.Plane, res *RunResult) ([]float64, error) {
 	membranes := sr.membranes
 	if (pos+1)*sp.kernels > len(membranes) {
 		return nil, fmt.Errorf("arch: position %d beyond allocated registers", pos)
@@ -281,10 +426,39 @@ func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias [
 	for i := range total {
 		total[i] = 0
 	}
+	if env.event && pl != nil {
+		res.PackedWords += int64(len(pl.WordSlice()))
+		res.SpikesSkipped += int64(pl.Len() - pl.Count())
+	}
 	for b, st := range sp.blocks {
-		part, err := env.evaluate(st, in[sp.rowBounds[b]:sp.rowBounds[b+1]], nil, sr.sums, &sr.sc)
-		if err != nil {
-			return nil, err
+		lo, hi := sp.rowBounds[b], sp.rowBounds[b+1]
+		var part []float64
+		if env.event && pl != nil {
+			// Event path: window the stage's spike plane onto this
+			// block's rows (block bounds are 64-aligned, so the view is
+			// a subslice). A silent block contributes quantizePartial(0)
+			// = +0 to every kernel, exactly what total already holds —
+			// skip its reads and conversion charges. The membrane loop
+			// below always runs, because residual potentials can cross
+			// threshold on zero input.
+			win := spikeplane.Window(pl.WordSlice(), lo, hi, nil)
+			if spikeplane.IsZeroWords(win) {
+				continue
+			}
+			sr.winPlane.AsView(win, hi-lo, pl.Binary())
+			if len(sr.sums) != st.cols {
+				sr.sums = make([]float64, st.cols)
+			}
+			if err := st.EvaluateReadPacked(sr.sums, in[lo:hi], &sr.winPlane, env.noise, env.cross, &sr.sc); err != nil {
+				return nil, err
+			}
+			part = sr.sums
+		} else {
+			var err error
+			part, err = env.evaluate(st, in[lo:hi], nil, sr.sums, &sr.sc)
+			if err != nil {
+				return nil, err
+			}
 		}
 		// Digitize the block's partial sums (one conversion per kernel).
 		for kIdx, v := range part {
@@ -302,6 +476,12 @@ func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias [
 	for i := range out {
 		out[i] = 0
 	}
+	// On the event path the fire plane is built during this walk, so
+	// the caller hands the packed output on without a Pack re-scan.
+	fill := env.event && pl != nil
+	if fill {
+		sr.outPlane.Reset(sp.kernels)
+	}
 	for kIdx := range bank {
 		inc := total[kIdx]
 		if bias != nil && kIdx < len(bias) {
@@ -310,6 +490,9 @@ func (env *execEnv) spillStep(sp *RUSpillCore, sr *stageRun, pos int, in, bias [
 		bank[kIdx] += inc
 		if bank[kIdx] >= sp.VTh {
 			out[kIdx] = 1
+			if fill {
+				sr.outPlane.Set(kIdx)
+			}
 			bank[kIdx] -= sp.VTh
 			res.Spikes++
 		}
@@ -327,12 +510,18 @@ func biasData(b *tensor.Tensor) []float64 {
 	return b.Data()
 }
 
-// stepStage advances one spiking stage by one timestep.
-func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+// stepStage advances one spiking stage by one timestep. pl is the
+// packed spike plane of x on the event-driven path (nil selects the
+// exact legacy dense walk); the returned plane covers the returned
+// tensor and is nil when the stage does not produce one. Event-driven
+// skips are value-preserving by construction: a silent stage or window
+// can only be skipped when doing so leaves every membrane, accumulator
+// and output bit identical to the dense walk (DESIGN.md §15).
+func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, pl *spikeplane.Plane, res *RunResult) (*tensor.Tensor, *spikeplane.Plane, error) {
 	switch hw.kind {
 	case "conv":
 		if hw.snnCore.neurons == nil {
-			return nil, fmt.Errorf("arch: conv stage not programmed (compile with WithInputShape)")
+			return nil, nil, fmt.Errorf("arch: conv stage not programmed (compile with WithInputShape)")
 		}
 		h, w := x.Dim(1), x.Dim(2)
 		oh := tensor.ConvOutSize(h, hw.kh, hw.stride, hw.pad)
@@ -341,6 +530,23 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 		if out == nil || out.Dim(0) != hw.outC || out.Dim(1) != oh || out.Dim(2) != ow {
 			out = tensor.New(hw.outC, oh, ow)
 			sr.convOut = out
+		}
+		if pl != nil {
+			// Event path: pre-zero the output plane so skipped positions
+			// need no writes, and take the whole-stage exit on a silent
+			// input (zero windows integrate nothing, so no neuron state
+			// moves; a bias would break that, hence the guard).
+			od := out.Data()
+			for i := range od {
+				od[i] = 0
+			}
+			res.PackedWords += int64(len(pl.WordSlice()))
+			if hw.bias == nil && pl.IsZero() {
+				res.SilentStageSkips++
+				res.SpikesSkipped += int64(pl.Len())
+				sr.outPlane.Reset(out.Size())
+				return out, &sr.outPlane, nil
+			}
 		}
 		gcIn := hw.inC / hw.groups
 		gcOut := hw.outC / hw.groups
@@ -358,26 +564,55 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 			cols := sr.cols
 			tensor.Im2ColInto(cols, sub, hw.kh, hw.kw, hw.stride, hw.pad)
 			for pos := 0; pos < oh*ow; pos++ {
-				// Gather the receptive-field window and its spike list in
-				// one pass; the kernels skip the silent rows.
-				act := sr.act[:0]
-				for r := 0; r < rfg; r++ {
-					v := cols.At(r, pos)
-					colBuf[r] = v
-					if v != 0 {
-						act = append(act, r)
-					}
-				}
-				sr.act = act
 				// Grouped case: per-group kernel matrices share the row
 				// space; each (position, group) pair owns a replica bank.
 				bankPos := pos
 				if hw.groups > 1 {
 					bankPos = pos*hw.groups + g
 				}
-				spikes, err := env.coreStep(hw.snnCore, sr, bankPos, colBuf, act, biasData(hw.bias), res)
+				var spikes []float64
+				var err error
+				if pl != nil {
+					// Gather the receptive-field window and pack its
+					// spike plane in one pass (im2col scatters indices,
+					// so the window plane is rebuilt, not windowed).
+					wp := &sr.winPlane
+					wp.Reset(rfg)
+					for r := 0; r < rfg; r++ {
+						v := cols.At(r, pos)
+						colBuf[r] = v
+						if v != 0 {
+							wp.Set(r)
+							//nebula:lint-ignore float-eq binary detection is exact by design: only the literal 1.0 lets the bit pattern stand in for the value
+							if v != 1.0 {
+								wp.MarkGraded()
+							}
+						}
+					}
+					if hw.bias == nil && wp.IsZero() {
+						// Silent window: the replica bank integrates
+						// nothing and every output slot stays zero.
+						res.PackedWords += int64(len(wp.WordSlice()))
+						res.SpikesSkipped += int64(rfg)
+						continue
+					}
+					spikes, err = env.coreStepEvent(hw.snnCore, sr, bankPos, colBuf, wp, nil, biasData(hw.bias), false, res)
+				} else {
+					// Gather the receptive-field window and its spike
+					// list in one pass; the kernels skip silent rows.
+					act := sr.act[:0]
+					for r := 0; r < rfg; r++ {
+						v := cols.At(r, pos)
+						colBuf[r] = v
+						if v != 0 {
+							act = append(act, r)
+						}
+					}
+					sr.act = act
+					spikes, err = env.coreStep(hw.snnCore, sr, bankPos, colBuf, act, biasData(hw.bias), res)
+				}
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				for k := 0; k < gcOut; k++ {
 					out.Set(spikes[g*gcOut+k], g*gcOut+k, pos/ow, pos%ow)
@@ -391,14 +626,41 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 		if env.wear {
 			env.ch.Mesh.Send(noc.Node{X: 0, Y: 0}, noc.Node{X: 1, Y: 0}, maxInt(1, int(out.Sum())), 0)
 		}
-		return out, nil
+		if pl != nil {
+			sr.outPlane.Pack(out.Data())
+			return out, &sr.outPlane, nil
+		}
+		return out, nil, nil
 	case "dense":
 		flat := x.Reshape(x.Size())
 		var spikes []float64
 		var err error
-		if hw.spill != nil {
-			spikes, err = env.spillStep(hw.spill, sr, 0, flat.Data(), biasData(hw.bias), res)
-		} else {
+		switch {
+		case hw.spill != nil:
+			spikes, err = env.spillStep(hw.spill, sr, 0, flat.Data(), biasData(hw.bias), pl, res)
+		case pl != nil:
+			if hw.bias == nil && pl.IsZero() {
+				// Whole-stage skip: integrateBankInto ignores zero
+				// increments, so the dense walk would touch no neuron
+				// and emit no spike — return the zero vector without
+				// charging cycles, packets or accesses.
+				res.SilentStageSkips++
+				res.PackedWords += int64(len(pl.WordSlice()))
+				res.SpikesSkipped += int64(pl.Len())
+				if len(sr.fire) != hw.snnCore.ST.cols {
+					sr.fire = make([]float64, hw.snnCore.ST.cols)
+				}
+				for i := range sr.fire {
+					sr.fire[i] = 0
+				}
+				if sr.fireT == nil || sr.fireT.Size() != len(sr.fire) {
+					sr.fireT = tensor.FromSlice(sr.fire, len(sr.fire))
+				}
+				sr.outPlane.Reset(len(sr.fire))
+				return sr.fireT, &sr.outPlane, nil
+			}
+			spikes, err = env.coreStepEvent(hw.snnCore, sr, 0, flat.Data(), pl, &sr.outPlane, biasData(hw.bias), true, res)
+		default:
 			// Gather the previous layer's spike list so the crossbar
 			// kernels touch only the active rows.
 			act := sr.act[:0]
@@ -411,23 +673,48 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 			spikes, err = env.coreStep(hw.snnCore, sr, 0, flat.Data(), act, biasData(hw.bias), res)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		res.NoCPackets++
 		res.NoCHops += env.hops
 		if env.wear {
-			return tensor.FromSlice(spikes, len(spikes)), nil
+			return tensor.FromSlice(spikes, len(spikes)), nil, nil
 		}
 		// Frozen path: spikes aliases sr.fire, whose backing array only
 		// changes when its length does — the cached view stays valid.
 		if sr.fireT == nil || sr.fireT.Size() != len(spikes) {
 			sr.fireT = tensor.FromSlice(spikes, len(spikes))
 		}
-		return sr.fireT, nil
+		if pl != nil {
+			// sr.outPlane was filled during the integrate (coreStepEvent)
+			// or threshold (spillStep) walk — no Pack re-scan needed.
+			return sr.fireT, &sr.outPlane, nil
+		}
+		return sr.fireT, nil, nil
 	case "pool":
-		return sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride)), nil
+		if pl != nil {
+			res.PackedWords += int64(len(pl.WordSlice()))
+			if pl.IsZero() {
+				// Silent input: average pooling of zeros is zero, and a
+				// zero-current IF step moves no membrane (leak 1, no
+				// refractory) and fires nothing — the cached zero
+				// output is the exact dense result.
+				res.SilentStageSkips++
+				res.SpikesSkipped += int64(pl.Len())
+				if sr.poolZero == nil {
+					sr.poolZero = snn.AvgPool(x, hw.pool.K, hw.pool.Stride)
+				}
+				sr.outPlane.Reset(sr.poolZero.Size())
+				return sr.poolZero, &sr.outPlane, nil
+			}
+			out := sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride))
+			sr.outPlane.Pack(out.Data())
+			return out, &sr.outPlane, nil
+		}
+		return sr.poolIF.Fire(snn.AvgPool(x, hw.pool.K, hw.pool.Stride)), nil, nil
 	case "flatten":
-		return x.Reshape(x.Size()), nil
+		// Flattening reorders nothing, so the plane carries over.
+		return x.Reshape(x.Size()), pl, nil
 	case "output":
 		// Digital accumulation at the routing units.
 		flat := x.Reshape(1, -1)
@@ -436,17 +723,56 @@ func (env *execEnv) stepStage(hw *stageHW, sr *stageRun, x *tensor.Tensor, res *
 			sr.outInc = tensor.New(1, n)
 			sr.outIncFlat = sr.outInc.Reshape(n)
 		}
+		if sr.outAcc == nil {
+			sr.outAcc = tensor.New(n)
+		}
+		if pl != nil {
+			res.PackedWords += int64(len(pl.WordSlice()))
+			if hw.outB == nil && pl.IsZero() {
+				// Silent timestep contributes exactly zero to every
+				// class accumulator — skip the read-out entirely.
+				res.SilentStageSkips++
+				res.SpikesSkipped += int64(pl.Len())
+				return sr.outAcc, nil, nil
+			}
+			if pl.Binary() {
+				// Binary plane: each active bit contributes its weight
+				// verbatim (1.0·w == w), and summing in ascending index
+				// order matches the dense inner product bit for bit —
+				// skipped zero terms only ever add ±0 to a sum that is
+				// never −0.
+				wd := hw.outW.Data()
+				inLen := flat.Size()
+				od := sr.outIncFlat.Data()
+				for k := 0; k < n; k++ {
+					row := wd[k*inLen : (k+1)*inLen]
+					s := 0.0
+					it := pl.Iter()
+					for j, ok := it.Next(); ok; j, ok = it.Next() {
+						s += row[j]
+					}
+					od[k] = s
+				}
+				res.SpikesSkipped += int64(pl.Len() - pl.Count())
+			} else {
+				tensor.MatMulTransBInto(sr.outInc, flat, hw.outW)
+			}
+			if hw.outB != nil {
+				sr.outInc.Row(0).AddInPlace(hw.outB)
+			}
+			sr.outAcc.AddInPlace(sr.outIncFlat)
+			// The accumulator is only read after the final timestep;
+			// returning it uncloned avoids a per-step allocation.
+			return sr.outAcc, nil, nil
+		}
 		tensor.MatMulTransBInto(sr.outInc, flat, hw.outW)
 		if hw.outB != nil {
 			sr.outInc.Row(0).AddInPlace(hw.outB)
 		}
-		if sr.outAcc == nil {
-			sr.outAcc = tensor.New(n)
-		}
 		sr.outAcc.AddInPlace(sr.outIncFlat)
-		return sr.outAcc.Clone(), nil
+		return sr.outAcc.Clone(), nil, nil
 	}
-	return nil, fmt.Errorf("arch: unknown stage kind %q", hw.kind)
+	return nil, nil, fmt.Errorf("arch: unknown stage kind %q", hw.kind)
 }
 
 // annExec drives a batch of input vectors through an ANN core with the
@@ -554,21 +880,21 @@ func (env *execEnv) annStage(hw *annStageHW, x *tensor.Tensor, res *RunResult) (
 // the counter delta (and a trace event) to its bucket when the run
 // carries a shard. The nil-shard path is a single branch on top of the
 // unobserved stepStage.
-func (s *Session) stepStageObs(env *execEnv, i, t int, hw *stageHW, sr *stageRun, x *tensor.Tensor, res *RunResult) (*tensor.Tensor, error) {
+func (s *Session) stepStageObs(env *execEnv, i, t int, hw *stageHW, sr *stageRun, x *tensor.Tensor, pl *spikeplane.Plane, res *RunResult) (*tensor.Tensor, *spikeplane.Plane, error) {
 	if env.shard == nil {
-		return env.stepStage(hw, sr, x, res)
+		return env.stepStage(hw, sr, x, pl, res)
 	}
 	m := env.mark(res)
-	out, err := env.stepStage(hw, sr, x, res)
+	out, opl, err := env.stepStage(hw, sr, x, pl, res)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	idx := s.snnBase + i
 	d := env.observe(m, res, env.shard.Stage(idx))
 	if env.shard.TraceEnabled() {
 		env.shard.AddTrace(obs.TraceEvent{Timestep: t, Stage: idx, Layer: hw.name, Spikes: d})
 	}
-	return out, nil
+	return out, opl, nil
 }
 
 // annStageObs executes continuous stage j, attributing the counter
@@ -587,17 +913,51 @@ func (s *Session) annStageObs(env *execEnv, j int, hw *annStageHW, x *tensor.Ten
 }
 
 // encodeObs encodes one timestep, attributing the input spikes entering
-// the pipeline to the input bucket (stage 0 of spiking layouts).
-func (s *Session) encodeObs(env *execEnv, enc snn.Encoder, img *tensor.Tensor, t int) *tensor.Tensor {
-	x := enc.Encode(img)
+// the pipeline to the input bucket (stage 0 of spiking layouts). On the
+// event-driven path it encodes into the run's recycled buffer, packs
+// the spike plane that heads the per-timestep plane chain, and derives
+// the spike count from the plane's popcount.
+func (s *Session) encodeObs(env *execEnv, st *runState, enc snn.Encoder, img *tensor.Tensor, t int) (*tensor.Tensor, *spikeplane.Plane) {
+	var x *tensor.Tensor
+	var pl *spikeplane.Plane
+	if env.event {
+		pl = &st.encPlane
+		switch ie := enc.(type) {
+		case snn.PlaneEncoder:
+			// The encoder builds the packed plane during its own walk —
+			// no Pack re-scan of the dense vector.
+			if st.encT == nil || !tensor.SameShape(st.encT, img) {
+				st.encT = tensor.New(img.Shape()...)
+			}
+			ie.EncodeIntoPlane(st.encT, pl, img)
+			x = st.encT
+		case snn.IntoEncoder:
+			if st.encT == nil || !tensor.SameShape(st.encT, img) {
+				st.encT = tensor.New(img.Shape()...)
+			}
+			ie.EncodeInto(st.encT, img)
+			x = st.encT
+			pl.Pack(x.Data())
+		default:
+			x = enc.Encode(img)
+			pl.Pack(x.Data())
+		}
+	} else {
+		x = enc.Encode(img)
+	}
 	if sh := env.shard; sh != nil {
-		n := snn.CountSpikes(x)
+		var n int64
+		if pl != nil {
+			n = int64(pl.Count())
+		} else {
+			n = snn.CountSpikes(x)
+		}
 		sh.Stage(0).SpikesEmitted += n
 		if sh.TraceEnabled() {
 			sh.AddTrace(obs.TraceEvent{Timestep: t, Stage: 0, Layer: "input", Spikes: n})
 		}
 	}
-	return x
+	return x, pl
 }
 
 // execANN runs one continuous-activation pass.
@@ -628,10 +988,10 @@ func (s *Session) execSNN(ctx context.Context, img *tensor.Tensor, env *execEnv,
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		x := s.encodeObs(env, enc, img, t)
+		x, pl := s.encodeObs(env, st, enc, img, t)
 		for i, hw := range s.snnStages {
 			var err error
-			x, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, res)
+			x, pl, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, pl, res)
 			if err != nil {
 				return nil, err
 			}
@@ -656,10 +1016,10 @@ func (s *Session) execHybrid(ctx context.Context, img *tensor.Tensor, env *execE
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		x := s.encodeObs(env, enc, img, t)
+		x, pl := s.encodeObs(env, st, enc, img, t)
 		for i, hw := range s.snnStages {
 			var err error
-			x, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, res)
+			x, pl, err = s.stepStageObs(env, i, t, hw, st.stages[i], x, pl, res)
 			if err != nil {
 				return nil, err
 			}
@@ -722,6 +1082,10 @@ func (s *Session) runOne(ctx context.Context, input *tensor.Tensor, rs runStream
 			env.noise = rs.noise
 		}
 		env.cross = &crossbar.Stats{}
+		// Event-driven stepping requires a nil read-noise stream: noise
+		// draws advance per live column, so skipping a read would shift
+		// every later draw. Without noise, skips are value-exact.
+		env.event = env.noise == nil && !s.cfg.noEvent
 	}
 	var enc snn.Encoder
 	if s.cfg.Mode != ModeANN {

@@ -188,6 +188,11 @@ type sessionConfig struct {
 	// when non-empty; cacheMetrics, when non-nil, observes that cache.
 	cacheDir     string
 	cacheMetrics image.Metrics
+	// noEvent disables the bit-packed event-driven stepping path, forcing
+	// the dense walk. Execution-regime knob only: results are bitwise
+	// identical either way, so it is not part of CompileConfig (and not
+	// hashed into image cache keys).
+	noEvent bool
 }
 
 // Option configures Compile.
@@ -287,6 +292,14 @@ func WithWear(on bool) Option { return func(c *sessionConfig) { c.Wear = on } }
 // this only trades speed for nothing — it exists for differential
 // testing and benchmarking of the fast path. Default: enabled.
 func WithFrozenKernel(on bool) Option { return func(c *sessionConfig) { c.NoFrozenKernel = !on } }
+
+// WithEventDriven(false) disables the bit-packed event-driven stepping
+// path (DESIGN.md §15), forcing every timestep through the dense walk.
+// The event path self-gates to runs without a read-noise stream and
+// produces bitwise-identical outputs, so this knob only trades speed
+// for nothing — it exists for differential testing and benchmarking,
+// mirroring WithFrozenKernel. Default: enabled.
+func WithEventDriven(on bool) Option { return func(c *sessionConfig) { c.noEvent = !on } }
 
 // defaultSessionSeed seeds sessions that set no WithSeed; a fixed
 // constant keeps the default fully reproducible run to run.

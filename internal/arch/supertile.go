@@ -19,6 +19,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/mapping"
 	"repro/internal/rng"
+	"repro/internal/spikeplane"
 	"repro/internal/tensor"
 )
 
@@ -265,6 +266,22 @@ func (st *SuperTile) EvaluateRead(input []float64, noise *rng.Rand, stats *cross
 	return out, nil
 }
 
+// GenSum folds the generation stamps of the configured arrays (through
+// the retirement indirection) into one fingerprint. Any mutation of
+// read-visible state — reprogramming, fault injection, retention
+// ticks, refresh, slot retirement — changes the fingerprint, so two
+// equal snapshots prove the super-tile's reads are unchanged between
+// them. The engine's timestep-repeat cache keys on it.
+//
+//nebula:hotpath
+func (st *SuperTile) GenSum() uint64 {
+	var h uint64
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		h = h*1099511628211 + st.acs[st.slotAC[slot]].Generation()
+	}
+	return h
+}
+
 // Bake freezes the read kernel of every configured array (crossbar
 // BakeKernel), switching EvaluateRead/EvaluateReadInto onto the
 // event-driven fast path. Call it when the session's conductances
@@ -286,6 +303,7 @@ type EvalScratch struct {
 	part   []float64 // per-AC partial dot products
 	actBuf []int     // window-local active rows, grouped by height
 	hOff   []int     // actBuf offsets: height h owns [hOff[h], hOff[h+1])
+	idx    []int     // materialized plane indices for the packed-path fallback
 }
 
 // EvaluateReadInto is EvaluateRead writing the K column sums into a
@@ -361,6 +379,91 @@ func (st *SuperTile) EvaluateReadInto(dst, input []float64, active []int, noise 
 			// current domain across the vertical stack (§IV-B3).
 			for c := colLo; c < colHi; c++ {
 				dst[c] += sc.part[c-colLo]
+			}
+		}
+	}
+	return nil
+}
+
+// EvaluateReadPacked is EvaluateReadInto driven by a bit-packed spike
+// plane instead of an index list: the per-window re-basing of the
+// active list becomes a word-aligned window view of the plane
+// (mapping.M is a multiple of 64, so every stack-height window is
+// word-aligned and views cost nothing), the per-AC input is the
+// unpadded row window, and only the mapped columns of each set are
+// computed (MACReadPacked's trimmed contract).
+//
+// Two event-driven deviations from the dense walk, both gated on
+// noise being nil so the RNG stream is untouched:
+//
+//   - a stack-height window with no active bits skips its AC read
+//     entirely — no MAC is issued, so stats count fewer MACs than the
+//     dense walk (that is the point: silent windows draw no read
+//     current);
+//   - trimmed columns make stats.OutputCurrentUA sum mapped columns
+//     only (see MACReadPacked).
+//
+// Column sums for the mapped columns remain bitwise identical to
+// EvaluateReadInto. Noisy reads (non-nil noise) and stale kernels fall
+// back transparently to the index path, materializing the plane's
+// indices into the scratch: trimmed columns draw fewer noise values
+// per array, which would shift the stream for every later array in
+// the stack, so the packed walk is only defined for noiseless reads.
+//
+//nebula:hotpath
+func (st *SuperTile) EvaluateReadPacked(dst, input []float64, plane *spikeplane.Plane, noise *rng.Rand, stats *crossbar.Stats, sc *EvalScratch) error {
+	if st.stack == 0 {
+		return fmt.Errorf("arch: super-tile not programmed")
+	}
+	if len(input) != st.rows {
+		return fmt.Errorf("arch: input length %d, want Rf %d", len(input), st.rows)
+	}
+	if len(dst) != st.cols {
+		return fmt.Errorf("arch: destination length %d, want K %d", len(dst), st.cols)
+	}
+	if plane.Len() != st.rows {
+		return fmt.Errorf("arch: plane length %d, want Rf %d", plane.Len(), st.rows)
+	}
+	if noise != nil {
+		sc.idx = plane.AppendIndices(sc.idx[:0])
+		return st.EvaluateReadInto(dst, input, sc.idx, noise, stats, sc)
+	}
+	for slot := 0; slot < st.stack*st.sets; slot++ {
+		if !st.acs[st.slotAC[slot]].KernelFresh() {
+			// Stale kernel: the packed fast path cannot serve this read;
+			// fall back to the index path, which has its own dense
+			// fallback per array.
+			sc.idx = plane.AppendIndices(sc.idx[:0])
+			return st.EvaluateReadInto(dst, input, sc.idx, noise, stats, sc)
+		}
+	}
+	if len(sc.part) != mapping.M {
+		sc.part = make([]float64, mapping.M)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	words := plane.WordSlice()
+	for s := 0; s < st.sets; s++ {
+		colLo := s * mapping.M
+		colHi := min(colLo+mapping.M, st.cols)
+		part := sc.part[:colHi-colLo]
+		for h := 0; h < st.stack; h++ {
+			rowLo := h * mapping.M
+			rowHi := min(rowLo+mapping.M, st.rows)
+			win := spikeplane.Window(words, rowLo, rowHi, nil)
+			if spikeplane.IsZeroWords(win) {
+				// Silent window: no read current, no MAC (noise is nil
+				// past the fallback above, so no draw is skipped).
+				continue
+			}
+			if err := st.ac(s, h).MACReadPacked(part, input[rowLo:rowHi], win, noise, stats); err != nil {
+				return err
+			}
+			// SL current summation: partial dot products add in the
+			// current domain across the vertical stack (§IV-B3).
+			for c := colLo; c < colHi; c++ {
+				dst[c] += part[c-colLo]
 			}
 		}
 	}

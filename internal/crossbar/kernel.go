@@ -1,8 +1,10 @@
 package crossbar
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/rng"
 )
@@ -39,6 +41,10 @@ type readKernel struct {
 	terms []float64
 	// rowDead / colDead are the dead-line masks in logical coordinates.
 	rowDead, colDead []bool
+	// rowLive is the bit-packed complement of rowDead (bit set = live
+	// logical row), so packed spike planes intersect against it with a
+	// word-AND instead of a per-index branch.
+	rowLive []uint64
 	// fullScale is the hoisted output divisor VRead·(States−1)·ΔG; it is
 	// the same deterministic expression macCompute evaluates per column.
 	fullScale float64
@@ -58,6 +64,7 @@ func (c *Crossbar) BakeKernel() {
 		terms:     make([]float64, c.Rows*c.Cols),
 		rowDead:   make([]bool, c.Rows),
 		colDead:   make([]bool, c.Cols),
+		rowLive:   make([]uint64, (c.Rows+63)/64),
 		fullScale: c.P.VReadMV * 1e-3 * float64(states-1) * deltaG,
 	}
 	for col := 0; col < c.Cols; col++ {
@@ -71,6 +78,7 @@ func (c *Crossbar) BakeKernel() {
 			k.rowDead[row] = true
 			continue
 		}
+		k.rowLive[row>>6] |= 1 << uint(row&63)
 		base := pr * c.physCols
 		trow := k.terms[row*c.Cols : (row+1)*c.Cols]
 		for col := range trow {
@@ -212,4 +220,122 @@ func (c *Crossbar) macKernel(k *readKernel, dst, input []float64, active []int, 
 		dst[col] = iDiff / k.fullScale * c.wmax
 	}
 	return activeN, currentSum, nil
+}
+
+// ErrStaleKernel is returned by MACReadPacked when no fresh baked
+// kernel exists. Unlike MACReadInto, the packed path has no dense
+// fallback of its own — the packed mask cannot drive macCompute's
+// full-width walk — so the caller must fall back (typically by
+// materializing indices and using MACReadInto).
+var ErrStaleKernel = errors.New("crossbar: read kernel stale or missing")
+
+// MACReadPacked is the event-driven read: the active rows arrive as a
+// bit-packed word mask instead of an index list, and both buffers may
+// be trimmed to the logically mapped extent of the array.
+//
+// Contract, looser than MACReadInto in two ways and stricter in one:
+//
+//   - len(input) may be ≤ Rows: rows at or beyond len(input) are
+//     treated as silent, so callers pass the unpadded window slice.
+//   - len(dst) may be ≤ Cols: only the leading len(dst) columns are
+//     computed. Per-column sums are independent, so each computed
+//     column is bitwise identical to the same column of a full-width
+//     read. Stats.OutputCurrentUA consequently sums only those
+//     columns; on a faultless array the unmapped tail reads exactly
+//     zero and the total is unchanged, but stuck faults parked in
+//     unmapped columns would have contributed |I| in the dense walk
+//     (DESIGN.md §15). Read-noise draws are likewise per computed
+//     column, so trimmed reads consume a different stream count —
+//     the engine only takes this path when noise is nil.
+//   - mask must have no bit set at or beyond len(input); bit i set
+//     iff input[i] != 0. Dead-row bits stay set (they count toward
+//     IR drop, exactly like MACReadInto's active list). Trailing
+//     words may be omitted entirely.
+//
+// The accumulation visits rows in increasing order with the same
+// operation grouping as the dense walk, so results are bitwise
+// identical (±0.0 column sign aside when a trimmed silent read skips
+// the zero-summing the dense path performs — the engine never
+// consumes the sign of a zero).
+//
+//nebula:hotpath
+func (c *Crossbar) MACReadPacked(dst, input []float64, mask []uint64, noise *rng.Rand, stats *Stats) error {
+	k := c.kern
+	if k == nil || k.gen != c.gen {
+		return ErrStaleKernel
+	}
+	if len(dst) > c.Cols {
+		return fmt.Errorf("crossbar: destination length %d exceeds %d cols", len(dst), c.Cols)
+	}
+	if len(input) > c.Rows {
+		return fmt.Errorf("crossbar: input length %d exceeds %d rows", len(input), c.Rows)
+	}
+	nw := (len(input) + 63) / 64
+	if len(mask) < nw {
+		nw = len(mask)
+	}
+	activeN := 0
+	for i := 0; i < nw; i++ {
+		activeN += bits.OnesCount64(mask[i])
+	}
+	atten := 1.0
+	if c.Cfg.IRDropAlpha > 0 && c.Rows > 0 {
+		atten = 1 / (1 + c.Cfg.IRDropAlpha*float64(activeN)/float64(c.Rows))
+	}
+	drift := 1.0
+	if c.Cfg.DriftTauSteps > 0 && c.age > 0 {
+		drift = math.Exp(-float64(c.age) / c.Cfg.DriftTauSteps)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	cols := c.Cols
+	nd := len(dst)
+	vread := c.P.VReadMV
+	for wi := 0; wi < nw; wi++ {
+		w := mask[wi] & k.rowLive[wi]
+		base := wi << 6
+		for w != 0 {
+			row := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			vv := input[row] * atten * vread * 1e-3
+			// Re-slicing to nd == len(dst) lets the compiler drop the
+			// per-column bounds checks; the 4-wide unroll breaks the
+			// store-to-load chain across independent columns. Each
+			// column's own accumulation order is unchanged, so sums
+			// stay bitwise identical to the dense walk.
+			trow := k.terms[row*cols:]
+			trow = trow[:nd]
+			col := 0
+			for ; col+3 < nd; col += 4 {
+				dst[col] += vv * trow[col]
+				dst[col+1] += vv * trow[col+1]
+				dst[col+2] += vv * trow[col+2]
+				dst[col+3] += vv * trow[col+3]
+			}
+			for ; col < nd; col++ {
+				dst[col] += vv * trow[col]
+			}
+		}
+	}
+	sigma := c.Cfg.ReadNoiseSigma
+	var currentSum float64
+	for col := 0; col < nd; col++ {
+		if k.colDead[col] {
+			dst[col] = 0
+			continue
+		}
+		iDiff := dst[col] * drift
+		if sigma > 0 && noise != nil {
+			iDiff *= 1 + sigma*noise.NormFloat64()
+		}
+		currentSum += math.Abs(iDiff)
+		dst[col] = iDiff / k.fullScale * c.wmax
+	}
+	if stats != nil {
+		stats.MACs++
+		stats.ActiveRowSum += int64(activeN)
+		stats.OutputCurrentUA += currentSum
+	}
+	return nil
 }

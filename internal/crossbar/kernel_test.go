@@ -1,6 +1,7 @@
 package crossbar
 
 import (
+	"errors"
 	"math"
 	"path/filepath"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/lint"
 	"repro/internal/rng"
+	"repro/internal/spikeplane"
 )
 
 // kernelCfg is the stress configuration for the differential tests:
@@ -443,6 +445,127 @@ func FuzzMACReadKernel(f *testing.F) {
 		assertBitwise(t, "fuzz/scan", want, got)
 		assertBitwise(t, "fuzz/active", want, gotAct)
 	})
+}
+
+// packMask bit-packs the nonzero positions of an input vector.
+func packMask(in []float64) []uint64 {
+	var p spikeplane.Plane
+	p.Pack(in)
+	return p.WordSlice()
+}
+
+// TestMACReadPackedBitwise is the packed-path differential test: across
+// the same stress configurations as the kernel test, a full-width
+// MACReadPacked must reproduce the dense read bit for bit, and a
+// column/row-trimmed read must reproduce the leading columns bit for
+// bit (per-column sums are independent and noise draws are in column
+// index order, so trimming the tail never perturbs the head).
+func TestMACReadPackedBitwise(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{}},
+		{"irdrop", Config{IRDropAlpha: 0.25}},
+		{"noise", Config{ReadNoiseSigma: 0.05}},
+		{"drift", Config{DriftTauSteps: 800}},
+		{"everything", kernelCfg()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(0xBEEFCAFE)
+			for trial := 0; trial < 10; trial++ {
+				rows := 1 + r.Intn(160)
+				cols := 1 + r.Intn(96)
+				seed := r.Uint64()
+				ref, sub := newTwin(seed, rows, cols, tc.cfg)
+				if trial%2 == 0 {
+					ref.InjectStuckFaults(rng.New(seed+2), 0.03, StuckAP)
+					sub.InjectStuckFaults(rng.New(seed+2), 0.03, StuckAP)
+				}
+				if trial%3 == 0 {
+					row := r.Intn(rows)
+					ref.KillRow(row)
+					sub.KillRow(row)
+				}
+				if tc.cfg.DriftTauSteps > 0 {
+					age := int64(r.Intn(2000))
+					ref.Tick(age)
+					sub.Tick(age)
+				}
+				sub.BakeKernel()
+
+				for _, frac := range []float64{0, 0.1, 0.5, 1} {
+					in, _ := sparseInput(r, rows, frac)
+					mask := packMask(in)
+					noiseSeed := r.Uint64()
+					want, err := ref.MACRead(in, rng.New(noiseSeed), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var sRef, sSub Stats
+					if err := ref.MACReadInto(make([]float64, cols), in, nil, rng.New(noiseSeed), &sRef); err != nil {
+						t.Fatal(err)
+					}
+					got := make([]float64, cols)
+					if err := sub.MACReadPacked(got, in, mask, rng.New(noiseSeed), &sSub); err != nil {
+						t.Fatal(err)
+					}
+					assertBitwise(t, tc.name+"/packed", want, got)
+					if sRef.MACs != sSub.MACs || sRef.ActiveRowSum != sSub.ActiveRowSum ||
+						math.Float64bits(sRef.OutputCurrentUA) != math.Float64bits(sSub.OutputCurrentUA) {
+						t.Fatalf("%s: stats diverged: dense %+v, packed %+v", tc.name, sRef, sSub)
+					}
+
+					// Trimmed read: silent tail rows dropped from the input,
+					// only the leading columns computed.
+					inLen := rows - r.Intn(rows/2+1)
+					for i := inLen; i < rows; i++ {
+						in[i] = 0
+					}
+					mask = packMask(in[:inLen])
+					wantTrim, err := ref.MACRead(in, rng.New(noiseSeed), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					nd := 1 + r.Intn(cols)
+					trim := make([]float64, nd)
+					if err := sub.MACReadPacked(trim, in[:inLen], mask, rng.New(noiseSeed), nil); err != nil {
+						t.Fatal(err)
+					}
+					assertBitwise(t, tc.name+"/trimmed", wantTrim[:nd], trim)
+				}
+			}
+		})
+	}
+}
+
+// TestMACReadPackedStaleKernel pins the fallback contract: without a
+// fresh kernel the packed path refuses with ErrStaleKernel rather than
+// silently computing on stale terms.
+func TestMACReadPackedStaleKernel(t *testing.T) {
+	_, sub := newTwin(5, 8, 6, Config{})
+	in, _ := sparseInput(rng.New(1), 8, 0.5)
+	mask := packMask(in)
+	dst := make([]float64, 6)
+	if err := sub.MACReadPacked(dst, in, mask, nil, nil); !errors.Is(err, ErrStaleKernel) {
+		t.Fatalf("unbaked packed read: got %v, want ErrStaleKernel", err)
+	}
+	sub.BakeKernel()
+	if err := sub.MACReadPacked(dst, in, mask, nil, nil); err != nil {
+		t.Fatalf("fresh packed read failed: %v", err)
+	}
+	sub.KillRow(0)
+	if err := sub.MACReadPacked(dst, in, mask, nil, nil); !errors.Is(err, ErrStaleKernel) {
+		t.Fatalf("stale packed read: got %v, want ErrStaleKernel", err)
+	}
+	sub.BakeKernel()
+	if err := sub.MACReadPacked(make([]float64, 7), in, mask, nil, nil); err == nil {
+		t.Fatal("oversized destination accepted")
+	}
+	if err := sub.MACReadPacked(dst, make([]float64, 9), mask, nil, nil); err == nil {
+		t.Fatal("oversized input accepted")
+	}
 }
 
 // benchmarkSparsity measures the dense reference against the baked

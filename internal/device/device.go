@@ -192,19 +192,33 @@ func (n *SpikingNeuron) Membrane() float64 { return n.pos / n.P.LengthNM }
 // It returns true if the neuron fired during the interval. Negative
 // currents (inhibition) move the wall back toward reset.
 func (n *SpikingNeuron) Integrate(currentUA, durationNS float64) bool {
-	n.pos += n.P.WallVelocity(currentUA) * durationNS
+	// WallVelocity is fused by hand: the shared |current| magnitude and
+	// the skipped zero-velocity add keep this under the inlining budget
+	// for the per-column integrate walk, with bitwise-identical results
+	// (the sub-depinning case added exactly +0 to a never-negative pos).
+	mag := currentUA
+	if mag < 0 {
+		mag = -mag
+	}
+	if mag > n.P.DepinningCurrentUA {
+		v := n.P.MobilityNMPerUAns * (mag - n.P.DepinningCurrentUA)
+		if currentUA < 0 {
+			v = -v // inhibition moves the wall back toward reset
+		}
+		n.pos += v * durationNS
+	}
 	if n.pos < 0 {
 		n.pos = 0
 	}
-	if n.pos >= n.P.LengthNM {
-		// Fire and reset: the output spike triggers the reverse-current
-		// reset of §II-B3. Residual overdrive is discarded (hardware
-		// reset returns the wall fully to the left edge).
-		n.pos = 0
-		n.spikes++
-		return true
+	if n.pos < n.P.LengthNM {
+		return false
 	}
-	return false
+	// Fire and reset: the output spike triggers the reverse-current
+	// reset of §II-B3. Residual overdrive is discarded (hardware
+	// reset returns the wall fully to the left edge).
+	n.pos = 0
+	n.spikes++
+	return true
 }
 
 // Spikes returns the spike count since Reset.

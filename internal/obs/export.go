@@ -39,6 +39,14 @@ var counterSeries = []struct {
 		func(c Counters) float64 { return float64(c.EDRAMAccesses) }},
 	{"nebula_obs_cycles_total", "110 ns pipeline cycles consumed.",
 		func(c Counters) float64 { return float64(c.Cycles) }},
+	{"nebula_obs_silent_stage_skips_total", "Stage-timesteps skipped entirely on an all-zero spike plane.",
+		func(c Counters) float64 { return float64(c.SilentStageSkips) }},
+	{"nebula_obs_spikes_skipped_total", "Silent input slots not driven by the event-driven path.",
+		func(c Counters) float64 { return float64(c.SpikesSkipped) }},
+	{"nebula_obs_packed_words_total", "Packed spike-plane words processed.",
+		func(c Counters) float64 { return float64(c.PackedWords) }},
+	{"nebula_obs_repeat_reads_total", "Crossbar reads served from the timestep-repeat cache.",
+		func(c Counters) float64 { return float64(c.RepeatReads) }},
 	{"nebula_obs_output_current_microamps_total", "Accumulated column current magnitude in microamps.",
 		func(c Counters) float64 { return c.OutputCurrentUA }},
 }

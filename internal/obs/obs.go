@@ -42,6 +42,17 @@ type Counters struct {
 	EDRAMAccesses int64 `json:"edram_accesses"`
 	// Cycles counts 110 ns pipeline cycles.
 	Cycles int64 `json:"cycles"`
+	// SilentStageSkips counts stage-timesteps the event-driven engine
+	// skipped entirely because the input spike plane was all-zero.
+	SilentStageSkips int64 `json:"silent_stage_skips"`
+	// SpikesSkipped counts silent input slots the event-driven path did
+	// not drive (plane length minus popcount, per stage-timestep).
+	SpikesSkipped int64 `json:"spikes_skipped"`
+	// PackedWords counts the packed spike-plane words processed.
+	PackedWords int64 `json:"packed_words"`
+	// RepeatReads counts crossbar reads served from the timestep-repeat
+	// cache (identical spike plane, unchanged conductance generation).
+	RepeatReads int64 `json:"repeat_reads"`
 	// OutputCurrentUA accumulates column current magnitude in µA.
 	OutputCurrentUA float64 `json:"output_current_ua"`
 }
@@ -56,6 +67,10 @@ func (c *Counters) Add(o Counters) {
 	c.NoCHops += o.NoCHops
 	c.EDRAMAccesses += o.EDRAMAccesses
 	c.Cycles += o.Cycles
+	c.SilentStageSkips += o.SilentStageSkips
+	c.SpikesSkipped += o.SpikesSkipped
+	c.PackedWords += o.PackedWords
+	c.RepeatReads += o.RepeatReads
 	c.OutputCurrentUA += o.OutputCurrentUA
 }
 

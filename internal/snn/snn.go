@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/rng"
+	"repro/internal/spikeplane"
 	"repro/internal/tensor"
 )
 
@@ -379,7 +380,19 @@ func NewPoissonEncoder(gain float64, r *rng.Rand) *PoissonEncoder {
 // Encode returns a binary spike tensor for one timestep.
 func (e *PoissonEncoder) Encode(img *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(img.Shape()...)
-	od := out.Data()
+	e.EncodeInto(out, img)
+	return out
+}
+
+// EncodeInto writes one timestep into a caller-provided tensor of the
+// image's shape, drawing exactly the same Bernoulli stream as Encode:
+// zero-probability pixels draw nothing (the p > 0 short-circuit), so a
+// loop of EncodeInto calls is bitwise identical to a loop of Encode
+// calls on the same stream.
+//
+//nebula:hotpath
+func (e *PoissonEncoder) EncodeInto(dst, img *tensor.Tensor) {
+	od := dst.Data()
 	for i, v := range img.Data() {
 		p := v * e.Gain
 		if p > 1 {
@@ -387,9 +400,34 @@ func (e *PoissonEncoder) Encode(img *tensor.Tensor) *tensor.Tensor {
 		}
 		if p > 0 && e.R.Bernoulli(p) {
 			od[i] = 1
+		} else {
+			od[i] = 0
 		}
 	}
-	return out
+}
+
+// EncodeIntoPlane is EncodeInto additionally building the packed spike
+// plane of the emitted timestep during the same walk, drawing the same
+// Bernoulli stream. Spikes are exactly 1.0, so the plane stays binary
+// and is bitwise what Pack(dst) would produce — without the engine
+// re-scanning the dense vector.
+//
+//nebula:hotpath
+func (e *PoissonEncoder) EncodeIntoPlane(dst *tensor.Tensor, pl *spikeplane.Plane, img *tensor.Tensor) {
+	od := dst.Data()
+	pl.Reset(len(od))
+	for i, v := range img.Data() {
+		p := v * e.Gain
+		if p > 1 {
+			p = 1
+		}
+		if p > 0 && e.R.Bernoulli(p) {
+			od[i] = 1
+			pl.Set(i)
+		} else {
+			od[i] = 0
+		}
+	}
 }
 
 // DirectEncoder presents pixel intensities as constant analog input
@@ -412,9 +450,39 @@ func (e *DirectEncoder) Encode(img *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// EncodeInto writes the scaled intensities into a caller-provided
+// tensor of the image's shape. No RNG is involved.
+//
+//nebula:hotpath
+func (e *DirectEncoder) EncodeInto(dst, img *tensor.Tensor) {
+	od := dst.Data()
+	for i, v := range img.Data() {
+		od[i] = v * e.Gain
+	}
+}
+
 // Encoder produces the network input for one timestep.
 type Encoder interface {
 	Encode(img *tensor.Tensor) *tensor.Tensor
+}
+
+// IntoEncoder is the allocation-free extension of Encoder: EncodeInto
+// fills a caller-provided tensor instead of allocating one per
+// timestep, consuming the encoder's RNG stream exactly as Encode
+// would. The session engine uses it to recycle one input buffer
+// across all timesteps of a run.
+type IntoEncoder interface {
+	Encoder
+	EncodeInto(dst, img *tensor.Tensor)
+}
+
+// PlaneEncoder is the event-driven extension of IntoEncoder: the
+// encoder emits the packed spike plane of each timestep alongside the
+// dense vector, from the same RNG stream, so the session engine's
+// event path starts its plane chain without a Pack re-scan.
+type PlaneEncoder interface {
+	IntoEncoder
+	EncodeIntoPlane(dst *tensor.Tensor, pl *spikeplane.Plane, img *tensor.Tensor)
 }
 
 // CountSpikes counts the spike events (nonzero entries) of one encoded
